@@ -1,0 +1,96 @@
+// Ablation B — the ε knob ("Trading scalability with uniformity", paper
+// Section 4): smaller ε tightens the uniformity guarantee but grows pivot
+// and hiThresh, so each BSAT call enumerates more witnesses and sampling
+// slows down.  Also measures the empirical uniformity (L1 distance from
+// the uniform distribution) on a brute-forceable instance, showing the
+// distribution tightening as ε shrinks.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "workloads/circuits.hpp"
+
+int main() {
+  using namespace unigen;
+  using namespace unigen::bench;
+  const auto samples = env_u64("UNIGEN_EPS_SAMPLES", 3000);
+
+  // Affine instance with 2^9 = 512 witnesses: big enough for hashed mode,
+  // small enough to measure the distribution.
+  const auto bench = workloads::make_case110_like(18, 9);
+  const auto r_f = bench.witness_count.to_uint64();
+  std::printf("Ablation: epsilon sweep on %s (|R_F| = %llu, %llu samples "
+              "per point)\n\n",
+              bench.cnf.summary().c_str(),
+              static_cast<unsigned long long>(r_f),
+              static_cast<unsigned long long>(samples));
+  std::printf("%8s %6s %6s %9s %9s %8s %12s %10s\n", "epsilon", "pivot",
+              "hiTh", "t/wit(ms)", "succ", "q", "L1-to-unif", "max/mean");
+
+  const auto sampling_set = bench.cnf.sampling_set_or_all();
+  // Note: ε close to 1.71 makes pivot explode (κ → 0 in Algorithm 2), so
+  // hiThresh exceeds |R_F| and UniGen degenerates to exact enumeration —
+  // included as ε = 2.0 to show the trivial-mode cliff.
+  for (const double eps : {2.0, 2.5, 3.0, 6.0, 10.0, 16.0}) {
+    Rng rng(1000 + static_cast<std::uint64_t>(eps * 100));
+    UniGenOptions opts;
+    opts.epsilon = eps;
+    UniGen sampler(bench.cnf, opts, rng);
+    if (!sampler.prepare()) {
+      std::printf("%8.2f prepare failed\n", eps);
+      continue;
+    }
+    std::map<std::vector<bool>, std::uint64_t> histogram;
+    std::uint64_t ok = 0;
+    const Stopwatch watch;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      const auto r = sampler.sample();
+      if (!r.ok()) continue;
+      ++ok;
+      std::vector<bool> key;
+      for (const Var v : sampling_set)
+        key.push_back(r.witness[static_cast<std::size_t>(v)] == lbool::True);
+      ++histogram[key];
+    }
+    const double secs = watch.seconds();
+    // L1 distance between the empirical distribution and uniform.
+    double l1 = 0.0;
+    std::uint64_t max_count = 0;
+    for (const auto& [key, c] : histogram) {
+      l1 += std::abs(static_cast<double>(c) / static_cast<double>(ok) -
+                     1.0 / static_cast<double>(r_f));
+      max_count = std::max(max_count, c);
+    }
+    l1 += (static_cast<double>(r_f) - static_cast<double>(histogram.size())) /
+          static_cast<double>(r_f);  // unseen witnesses
+    const double mean = static_cast<double>(ok) / static_cast<double>(r_f);
+    const auto& st = sampler.stats();
+    if (ok == 0) {
+      // Affine instances have power-of-two cell sizes only; an acceptance
+      // window [loThresh, hiThresh] that contains no power of two makes
+      // every sample return ⊥.  A real-world (non-affine) formula does not
+      // quantize like this.
+      std::printf("%8.2f %6llu %6llu %9.2f %9.3f %8d %12s %10s  "
+                  "(window has no power-of-2 cell size)\n",
+                  eps, static_cast<unsigned long long>(st.pivot),
+                  static_cast<unsigned long long>(st.hi_thresh),
+                  1000.0 * secs / static_cast<double>(samples),
+                  st.success_rate(), st.q, "-", "-");
+      std::fflush(stdout);
+      continue;
+    }
+    std::printf("%8.2f %6llu %6llu %9.2f %9.3f %8d %12.4f %10.2f\n", eps,
+                static_cast<unsigned long long>(st.pivot),
+                static_cast<unsigned long long>(st.hi_thresh),
+                1000.0 * secs / static_cast<double>(samples),
+                st.success_rate(), st.q, l1,
+                static_cast<double>(max_count) / mean);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: pivot/hiThresh and time-per-witness grow "
+              "as epsilon shrinks;\nthe empirical distribution is close to "
+              "uniform at every epsilon (far inside the guarantee).\n");
+  return 0;
+}

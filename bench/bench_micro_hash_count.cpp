@@ -1,0 +1,76 @@
+// Micro-benchmarks (google-benchmark) for hashing and counting: drawing
+// hash functions, exact counting, and ApproxMC.
+
+#include <benchmark/benchmark.h>
+
+#include "counting/approxmc.hpp"
+#include "counting/exact_counter.hpp"
+#include "hashing/xor_hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace unigen;
+
+void BM_DrawXorHash(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Var> vars(n);
+  for (std::size_t i = 0; i < n; ++i) vars[i] = static_cast<Var>(i);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(draw_xor_hash(vars, 20, rng).rows.size());
+}
+BENCHMARK(BM_DrawXorHash)->Arg(32)->Arg(1024)->Arg(1u << 17);
+
+void BM_ExactCountRandomCnf(benchmark::State& state) {
+  Rng rng(5);
+  Cnf cnf(static_cast<Var>(state.range(0)));
+  const auto clauses = static_cast<std::size_t>(state.range(0)) * 3;
+  for (std::size_t i = 0; i < clauses; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < 3; ++j)
+      clause.emplace_back(
+          static_cast<Var>(rng.below(static_cast<std::uint64_t>(cnf.num_vars()))),
+          rng.flip());
+    cnf.add_clause(std::move(clause));
+  }
+  for (auto _ : state) {
+    ExactCounter counter;
+    benchmark::DoNotOptimize(counter.count(cnf));
+  }
+}
+BENCHMARK(BM_ExactCountRandomCnf)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_ExactCountParitySystem(benchmark::State& state) {
+  Rng rng(7);
+  Cnf cnf(static_cast<Var>(state.range(0)));
+  for (int i = 0; i < state.range(0) / 3; ++i) {
+    std::vector<Var> vars;
+    for (Var v = 0; v < cnf.num_vars(); ++v)
+      if (rng.flip(0.25)) vars.push_back(v);
+    if (vars.empty()) vars.push_back(0);
+    cnf.add_xor(std::move(vars), rng.flip());
+  }
+  for (auto _ : state) {
+    ExactCounter counter;
+    benchmark::DoNotOptimize(counter.count(cnf));
+  }
+}
+BENCHMARK(BM_ExactCountParitySystem)->Arg(15)->Arg(21);
+
+void BM_ApproxMcFreeVars(benchmark::State& state) {
+  // 2^n models; exercises the full hashed counting path.
+  Cnf cnf(static_cast<Var>(state.range(0)));
+  cnf.add_clause({Lit(0, false), Lit(0, true)});
+  for (auto _ : state) {
+    Rng rng(11);
+    ApproxMcOptions opts;
+    benchmark::DoNotOptimize(approx_count(cnf, opts, rng).cell_count);
+  }
+}
+BENCHMARK(BM_ApproxMcFreeVars)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

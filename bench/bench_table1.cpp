@@ -1,0 +1,36 @@
+// Reproduces paper Table 1: runtime performance comparison of UniGen and
+// UniWit on the 12-instance suite (generated analogs; see DESIGN.md §3).
+//
+// Expected shape (paper Section 5):
+//   * UniGen's observed success probability is ~1 (>= 0.62 guaranteed);
+//   * UniGen's average XOR length ≈ |S|/2, UniWit's ≈ |X|/2;
+//   * UniWit is 2-3 orders of magnitude slower per witness and DNFs ("-")
+//     on the large sketch-family instances;
+//   * UniGen's expensive prepare step is paid once, not per witness.
+
+#include "common.hpp"
+
+int main() {
+  using namespace unigen;
+  using namespace unigen::bench;
+  const double scale = workloads::bench_scale_from_env(0.1);
+  const TableBudgets budgets;
+  std::printf(
+      "Table 1 reproduction (scale=%.2f, %llu UniGen / %llu UniWit samples "
+      "per row,\n  bsat timeout %.0fs, per-witness timeout %.0fs; '-' = no "
+      "witness within budget)\n\n",
+      scale, static_cast<unsigned long long>(budgets.unigen_samples),
+      static_cast<unsigned long long>(budgets.uniwit_samples),
+      budgets.bsat_timeout_s, budgets.sample_timeout_s);
+
+  print_table_header("");
+  const auto suite = workloads::make_table1_suite(scale);
+  std::uint64_t seed = 20140601;  // DAC'14 publication date
+  for (const auto& instance : suite) {
+    const TableRow row = run_instance(instance, budgets, seed);
+    print_table_row(row);
+    std::fflush(stdout);
+    seed += 2;
+  }
+  return 0;
+}

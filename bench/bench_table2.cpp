@@ -1,0 +1,33 @@
+// Reproduces paper Table 2 (appendix): the extended 31-instance comparison
+// of UniGen and UniWit.  Same columns and expectations as bench_table1.
+
+#include "common.hpp"
+
+int main() {
+  using namespace unigen;
+  using namespace unigen::bench;
+  const double scale = workloads::bench_scale_from_env(0.05);
+  TableBudgets budgets;
+  // The extended table has 31 rows; trim per-row sampling and budgets so
+  // the default run stays time-boxed.  Env overrides still apply.
+  budgets.unigen_samples = env_u64("UNIGEN_BENCH_SAMPLES", 3);
+  budgets.uniwit_samples = env_u64("UNIGEN_UNIWIT_SAMPLES", 1);
+  budgets.prepare_timeout_s = env_double("UNIGEN_PREPARE_TIMEOUT_S", 120.0);
+  budgets.sample_timeout_s = env_double("UNIGEN_SAMPLE_TIMEOUT_S", 30.0);
+  std::printf(
+      "Table 2 reproduction (scale=%.2f, %llu UniGen / %llu UniWit samples "
+      "per row)\n\n",
+      scale, static_cast<unsigned long long>(budgets.unigen_samples),
+      static_cast<unsigned long long>(budgets.uniwit_samples));
+
+  print_table_header("");
+  const auto suite = unigen::workloads::make_table2_suite(scale);
+  std::uint64_t seed = 424214;
+  for (const auto& instance : suite) {
+    const TableRow row = run_instance(instance, budgets, seed);
+    print_table_row(row);
+    std::fflush(stdout);
+    seed += 2;
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+#pragma once
+// Shared infrastructure for the table/figure reproduction benches: row
+// formatting, environment-variable budgets, and the per-instance
+// UniGen-vs-UniWit measurement loop used by bench_table1/bench_table2.
+//
+// Budgets default to laptop-friendly values and can be raised toward the
+// paper's setup (2500 s per BSAT call, 20 h per run, 1000+ samples):
+//   UNIGEN_BENCH_SCALE        instance scale (0..1], default per-bench
+//   UNIGEN_BENCH_SAMPLES      UniGen samples per instance   (default 10)
+//   UNIGEN_UNIWIT_SAMPLES     UniWit samples per instance   (default 2)
+//   UNIGEN_BSAT_TIMEOUT_S     per-BSAT timeout              (default 5)
+//   UNIGEN_PREPARE_TIMEOUT_S  UniGen prepare budget         (default 120)
+//   UNIGEN_SAMPLE_TIMEOUT_S   per-witness budget            (default 20)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/unigen.hpp"
+#include "core/uniwit.hpp"
+#include "util/timer.hpp"
+#include "workloads/suite.hpp"
+
+namespace unigen::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const double v = std::atof(raw);
+  return v > 0 ? v : fallback;
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long long v = std::atoll(raw);
+  return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+struct TableBudgets {
+  std::uint64_t unigen_samples = env_u64("UNIGEN_BENCH_SAMPLES", 5);
+  std::uint64_t uniwit_samples = env_u64("UNIGEN_UNIWIT_SAMPLES", 2);
+  double bsat_timeout_s = env_double("UNIGEN_BSAT_TIMEOUT_S", 15.0);
+  double prepare_timeout_s = env_double("UNIGEN_PREPARE_TIMEOUT_S", 240.0);
+  double sample_timeout_s = env_double("UNIGEN_SAMPLE_TIMEOUT_S", 45.0);
+};
+
+struct TableRow {
+  std::string name;
+  int num_vars = 0;
+  std::size_t support_size = 0;
+  // UniGen
+  bool unigen_ran = false;
+  double unigen_succ = 0.0;
+  double unigen_avg_time_s = 0.0;
+  double unigen_prepare_s = 0.0;
+  double unigen_xor_len = 0.0;
+  // UniWit
+  bool uniwit_ran = false;
+  double uniwit_succ = 0.0;
+  double uniwit_avg_time_s = 0.0;
+  double uniwit_xor_len = 0.0;
+};
+
+/// Runs both samplers on one instance under the given budgets.
+inline TableRow run_instance(const workloads::SuiteInstance& instance,
+                             const TableBudgets& budgets,
+                             std::uint64_t seed) {
+  TableRow row;
+  row.name = instance.name;
+  row.num_vars = instance.cnf.num_vars();
+  row.support_size = instance.cnf.sampling_set_or_all().size();
+
+  {
+    Rng rng(seed);
+    UniGenOptions opts;
+    opts.epsilon = 6.0;  // the paper's experimental setting
+    opts.bsat_timeout_s = budgets.bsat_timeout_s;
+    opts.prepare_timeout_s = budgets.prepare_timeout_s;
+    opts.sample_timeout_s = budgets.sample_timeout_s;
+    UniGen sampler(instance.cnf, opts, rng);
+    if (sampler.prepare()) {
+      for (std::uint64_t i = 0; i < budgets.unigen_samples; ++i)
+        sampler.sample();
+      const auto& st = sampler.stats();
+      row.unigen_ran = st.samples_ok > 0;
+      row.unigen_succ = st.success_rate();
+      row.unigen_avg_time_s =
+          st.samples_ok > 0 ? st.sample_seconds /
+                                  static_cast<double>(st.samples_requested)
+                            : 0.0;
+      row.unigen_prepare_s = st.prepare_seconds;
+      row.unigen_xor_len = st.average_xor_length();
+    }
+  }
+  {
+    Rng rng(seed + 1);
+    UniWitOptions opts;
+    opts.epsilon = 6.0;
+    opts.bsat_timeout_s = budgets.bsat_timeout_s;
+    opts.sample_timeout_s = budgets.sample_timeout_s;
+    UniWit sampler(instance.cnf, opts, rng);
+    for (std::uint64_t i = 0; i < budgets.uniwit_samples; ++i)
+      sampler.sample();
+    const auto& st = sampler.stats();
+    row.uniwit_ran = st.samples_ok > 0;
+    row.uniwit_succ = st.success_rate();
+    row.uniwit_avg_time_s =
+        st.samples_ok > 0
+            ? st.sample_seconds / static_cast<double>(st.samples_requested)
+            : 0.0;
+    row.uniwit_xor_len = st.average_xor_length();
+  }
+  return row;
+}
+
+inline void print_table_header(const char* title) {
+  std::printf("%s\n", title);
+  std::printf(
+      "%-22s %8s %5s | %8s %10s %8s %9s | %10s %8s %8s | %8s\n", "Benchmark",
+      "|X|", "|S|", "succ", "avg t (s)", "xor len", "prep (s)", "avg t (s)",
+      "xor len", "succ", "speedup");
+  std::printf(
+      "%-22s %8s %5s | %8s %10s %8s %9s | %10s %8s %8s | %8s\n", "", "", "",
+      "UniGen", "UniGen", "UniGen", "UniGen", "UniWit", "UniWit", "UniWit",
+      "");
+  std::printf("%s\n", std::string(126, '-').c_str());
+}
+
+inline void print_table_row(const TableRow& row) {
+  char unigen_time[32], uniwit_time[32], uniwit_succ[16], speedup[16];
+  if (row.unigen_ran)
+    std::snprintf(unigen_time, sizeof unigen_time, "%10.3f",
+                  row.unigen_avg_time_s);
+  else
+    std::snprintf(unigen_time, sizeof unigen_time, "%10s", "-");
+  if (row.uniwit_ran) {
+    std::snprintf(uniwit_time, sizeof uniwit_time, "%10.3f",
+                  row.uniwit_avg_time_s);
+    std::snprintf(uniwit_succ, sizeof uniwit_succ, "%8.2f", row.uniwit_succ);
+  } else {
+    std::snprintf(uniwit_time, sizeof uniwit_time, "%10s", "-");
+    std::snprintf(uniwit_succ, sizeof uniwit_succ, "%8s", "-");
+  }
+  if (row.unigen_ran && row.uniwit_ran && row.unigen_avg_time_s > 0)
+    std::snprintf(speedup, sizeof speedup, "%7.1fx",
+                  row.uniwit_avg_time_s / row.unigen_avg_time_s);
+  else if (row.unigen_ran && !row.uniwit_ran)
+    std::snprintf(speedup, sizeof speedup, "%8s", ">>1");
+  else
+    std::snprintf(speedup, sizeof speedup, "%8s", "-");
+
+  std::printf("%-22s %8d %5zu | %8.2f %s %8.1f %9.2f | %s %8.1f %s | %s\n",
+              row.name.c_str(), row.num_vars, row.support_size,
+              row.unigen_succ, unigen_time, row.unigen_xor_len,
+              row.unigen_prepare_s, uniwit_time, row.uniwit_xor_len,
+              uniwit_succ, speedup);
+}
+
+}  // namespace unigen::bench

@@ -1,0 +1,161 @@
+// Constrained-random verification testbench — the paper's motivating
+// scenario (Section 1).
+//
+// A small ALU design is verified by simulation.  The verification engineer
+// writes *environment constraints* over the stimulus (operands and opcode);
+// a constraint solver then generates stimuli.  This example contrasts two
+// generators on functional-coverage grounds:
+//
+//   * a naive generator that asks a SAT solver for "any solution"
+//     repeatedly with a randomized polarity heuristic (cheap, but the
+//     distribution is whatever the solver's heuristics produce), and
+//   * UniGen, which guarantees almost-uniform coverage of the constrained
+//     stimulus space.
+//
+// Coverage is measured over cross bins (opcode x operand-magnitude
+// corners).  Expected outcome: UniGen covers the bins evenly; the naive
+// sampler piles up on a few bins and leaves corners unexercised — exactly
+// the "diverse corners of the design's behavior space" problem from the
+// paper's introduction.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cnf/circuit.hpp"
+#include "cnf/tseitin.hpp"
+#include "core/unigen.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace unigen;
+using Sig = Circuit::Sig;
+
+constexpr std::size_t kWidth = 8;
+
+/// Design under test: an 8-bit ALU slice (software reference model).
+std::uint64_t alu_reference(std::uint64_t a, std::uint64_t b, unsigned op) {
+  switch (op & 3u) {
+    case 0: return (a + b) & 0xffu;
+    case 1: return a & b;
+    case 2: return a | b;
+    default: return a ^ b;
+  }
+}
+
+struct Stimulus {
+  std::uint64_t a = 0, b = 0;
+  unsigned op = 0;
+};
+
+/// Decodes a witness (full model) into a stimulus via the input variables.
+Stimulus decode(const Model& m, const std::vector<Var>& inputs) {
+  Stimulus s;
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    if (m[static_cast<std::size_t>(inputs[i])] == lbool::True)
+      s.a |= 1ull << i;
+    if (m[static_cast<std::size_t>(inputs[kWidth + i])] == lbool::True)
+      s.b |= 1ull << i;
+  }
+  for (int i = 0; i < 2; ++i)
+    if (m[static_cast<std::size_t>(inputs[2 * kWidth + i])] == lbool::True)
+      s.op |= 1u << i;
+  return s;
+}
+
+/// Coverage bin: opcode x (a magnitude corner) x (b magnitude corner).
+int bin_of(const Stimulus& s) {
+  auto corner = [](std::uint64_t v) { return v < 32 ? 0 : (v >= 224 ? 2 : 1); };
+  return static_cast<int>(s.op) * 9 + corner(s.a) * 3 + corner(s.b);
+}
+
+}  // namespace
+
+int main() {
+  // Environment constraints, written at circuit level:
+  //   - if op is ADD, the sum must not overflow (a + b < 256),
+  //   - operands are never both zero,
+  //   - AND-mode requires a's low nibble nonzero.
+  Circuit env;
+  const auto a = env.input_word(kWidth, "a");
+  const auto b = env.input_word(kWidth, "b");
+  const auto op = env.input_word(2, "op");
+
+  const Sig is_add = env.land(Circuit::lnot(op[0]), Circuit::lnot(op[1]));
+  const auto sum = env.add_word(a, b, /*keep_carry=*/true);
+  env.add_output(env.implies(is_add, Circuit::lnot(sum[kWidth])));
+
+  std::vector<Sig> any_bit;
+  for (const Sig s : a) any_bit.push_back(s);
+  for (const Sig s : b) any_bit.push_back(s);
+  env.add_output(env.or_n(any_bit));
+
+  const Sig is_and = env.land(op[0], Circuit::lnot(op[1]));
+  env.add_output(env.implies(
+      is_and, env.or_n({a[0], a[1], a[2], a[3]})));
+
+  const auto enc = tseitin_encode(env);
+  std::printf("environment constraints: %s\n", enc.cnf.summary().c_str());
+
+  constexpr int kStimuli = 400;
+
+  // --- naive generator: repeated solver calls with random polarities ---
+  std::map<int, int> naive_bins;
+  {
+    Rng rng(1);
+    int produced = 0;
+    while (produced < kStimuli) {
+      Solver solver;
+      solver.set_rng(&rng);
+      solver.options().random_initial_phase = true;
+      solver.load(enc.cnf);
+      if (solver.solve() != lbool::True) break;
+      ++naive_bins[bin_of(decode(solver.model(), enc.input_vars))];
+      ++produced;
+    }
+  }
+
+  // --- UniGen ---
+  std::map<int, int> unigen_bins;
+  {
+    Rng rng(2);
+    UniGenOptions opts;
+    opts.epsilon = 6.0;
+    UniGen sampler(enc.cnf, opts, rng);
+    if (!sampler.prepare()) {
+      std::printf("UniGen prepare failed\n");
+      return 1;
+    }
+    int produced = 0;
+    while (produced < kStimuli) {
+      const auto r = sampler.sample();
+      if (!r.ok()) continue;
+      const Stimulus s = decode(r.witness, enc.input_vars);
+      // Run the stimulus through the DUT reference model (the "simulation"
+      // step of CRV) — a real testbench would compare RTL vs reference.
+      (void)alu_reference(s.a, s.b, s.op);
+      ++unigen_bins[bin_of(s)];
+      ++produced;
+    }
+  }
+
+  // --- coverage report ---
+  int naive_hit = 0, unigen_hit = 0;
+  int naive_max = 0, unigen_max = 0;
+  for (int bin = 0; bin < 36; ++bin) {
+    naive_hit += naive_bins.count(bin) > 0;
+    unigen_hit += unigen_bins.count(bin) > 0;
+    naive_max = std::max(naive_max, naive_bins[bin]);
+    unigen_max = std::max(unigen_max, unigen_bins[bin]);
+  }
+  std::printf("\ncoverage over 36 cross bins (op x |a| corner x |b| corner), "
+              "%d stimuli each:\n", kStimuli);
+  std::printf("%-18s %14s %22s\n", "generator", "bins hit", "max bin occupancy");
+  std::printf("%-18s %10d/36 %22d\n", "naive solver", naive_hit, naive_max);
+  std::printf("%-18s %10d/36 %22d\n", "UniGen", unigen_hit, unigen_max);
+  std::printf("\nExpected: UniGen hits (nearly) all satisfiable bins with "
+              "even occupancy;\nthe naive generator clusters on "
+              "solver-preferred corners.\n");
+  return 0;
+}

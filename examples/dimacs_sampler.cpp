@@ -1,0 +1,84 @@
+// dimacs_sampler — the command-line tool UX of the original UniGen release:
+// read a DIMACS CNF (with optional `c ind` sampling-set lines and `x` XOR
+// clauses), draw K almost-uniform witnesses, print them as v-lines.
+//
+//   usage: dimacs_sampler <file.cnf> [num_samples=10] [epsilon=6] [seed]
+//
+// With no file argument, a small demo formula is sampled instead so the
+// example is runnable out of the box.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cnf/dimacs.hpp"
+#include "core/unigen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unigen;
+
+  Cnf cnf;
+  if (argc > 1) {
+    try {
+      cnf = parse_dimacs_file(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::printf("no input file; sampling a built-in demo formula\n");
+    cnf = parse_dimacs_string(
+        "c ind 1 2 3 4 5 6 0\n"
+        "p cnf 6 3\n"
+        "1 2 3 0\n"
+        "-3 4 0\n"
+        "x5 6 0\n");
+  }
+  const int num_samples = argc > 2 ? std::atoi(argv[2]) : 10;
+  const double epsilon = argc > 3 ? std::atof(argv[3]) : 6.0;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 0xDAC14;
+
+  std::printf("c %s\n", cnf.summary().c_str());
+  if (!cnf.sampling_set().has_value())
+    std::printf("c note: no `c ind` lines; hashing over the full support "
+                "(correct, but slower on large formulas)\n");
+
+  Rng rng(seed);
+  UniGenOptions options;
+  options.epsilon = epsilon;
+  UniGen sampler(std::move(cnf), options, rng);
+  if (!sampler.prepare()) {
+    std::fprintf(stderr, "error: prepare exceeded its budget\n");
+    return 1;
+  }
+
+  int produced = 0, failures = 0;
+  while (produced < num_samples) {
+    const SampleResult r = sampler.sample();
+    if (r.status == SampleResult::Status::kUnsat) {
+      std::printf("s UNSATISFIABLE\n");
+      return 20;
+    }
+    if (r.status == SampleResult::Status::kTimeout) {
+      std::fprintf(stderr, "error: sampling timed out\n");
+      return 1;
+    }
+    if (!r.ok()) {
+      if (++failures > 10 * num_samples + 100) {
+        std::fprintf(stderr, "error: persistent sampling failure\n");
+        return 1;
+      }
+      continue;
+    }
+    std::printf("v");
+    for (std::size_t v = 0; v < r.witness.size(); ++v)
+      std::printf(" %s%zu", r.witness[v] == lbool::True ? "" : "-", v + 1);
+    std::printf(" 0\n");
+    ++produced;
+  }
+  std::printf("c success rate %.3f, avg xor length %.1f, q=%d\n",
+              sampler.stats().success_rate(),
+              sampler.stats().average_xor_length(), sampler.stats().q);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Uniformity study: a fast, self-contained version of the paper's Figure-1
+// experiment that also demonstrates the US (ideal sampler) API.
+//
+// Builds an instance with exactly 512 witnesses, draws N samples from
+// UniGen and from US (materialized mode, so US returns real witnesses
+// too), and prints the two frequency histograms side by side.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/uniform_sampler.hpp"
+#include "core/unigen.hpp"
+#include "workloads/circuits.hpp"
+
+int main() {
+  using namespace unigen;
+
+  const auto bench = workloads::make_case110_like(18, 9);  // 2^9 witnesses
+  std::printf("instance: %s, |R_F| = %s\n", bench.cnf.summary().c_str(),
+              bench.witness_count.to_string().c_str());
+
+  const auto sampling_set = bench.cnf.sampling_set_or_all();
+  auto key_of = [&](const Model& m) {
+    std::vector<bool> key;
+    key.reserve(sampling_set.size());
+    for (const Var v : sampling_set)
+      key.push_back(m[static_cast<std::size_t>(v)] == lbool::True);
+    return key;
+  };
+
+  constexpr int kSamples = 6000;
+
+  std::map<std::vector<bool>, int> unigen_hist;
+  {
+    Rng rng(42);
+    UniGen sampler(bench.cnf, {}, rng);
+    if (!sampler.prepare()) return 1;
+    int produced = 0;
+    while (produced < kSamples) {
+      const auto r = sampler.sample();
+      if (!r.ok()) continue;
+      ++unigen_hist[key_of(r.witness)];
+      ++produced;
+    }
+  }
+
+  std::map<std::vector<bool>, int> us_hist;
+  {
+    Rng rng(43);
+    UniformSampler us(bench.cnf, {}, rng);
+    if (!us.prepare()) return 1;
+    std::printf("US exact count agrees: %s\n", us.count().to_string().c_str());
+    for (int i = 0; i < kSamples; ++i) {
+      const auto r = us.sample();
+      if (r.ok()) ++us_hist[key_of(r.witness)];
+    }
+  }
+
+  // Histogram of histograms, as in Figure 1: how many witnesses were seen
+  // exactly c times?
+  std::map<int, std::pair<int, int>> figure;
+  for (const auto& [key, c] : us_hist) ++figure[c].first;
+  for (const auto& [key, c] : unigen_hist) ++figure[c].second;
+  std::printf("\n%8s %14s %14s\n", "count", "US witnesses", "UniGen witnesses");
+  for (const auto& [count, pair] : figure)
+    std::printf("%8d %14d %14d\n", count, pair.first, pair.second);
+
+  std::printf("\nBoth columns should trace the same binomial bump — the "
+              "paper's\n\"can hardly be distinguished in practice\" claim.\n");
+  return 0;
+}

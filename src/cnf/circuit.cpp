@@ -1,0 +1,241 @@
+#include "cnf/circuit.hpp"
+
+#include <stdexcept>
+
+namespace unigen {
+namespace {
+
+std::uint64_t strash_key(Circuit::NodeKind kind, Circuit::Sig a,
+                         Circuit::Sig b) {
+  return (static_cast<std::uint64_t>(kind) << 62) |
+         (static_cast<std::uint64_t>(a) << 31) | b;
+}
+
+}  // namespace
+
+Circuit::Circuit() {
+  nodes_.push_back(Node{NodeKind::Const, 0, 0});  // node 0 == constant false
+}
+
+Circuit::Sig Circuit::add_input(std::string name) {
+  nodes_.push_back(Node{NodeKind::Input, 0, 0});
+  const Sig s = static_cast<Sig>((nodes_.size() - 1) << 1);
+  inputs_.push_back(s);
+  input_names_.push_back(std::move(name));
+  return s;
+}
+
+void Circuit::add_output(Sig s, std::string name) {
+  outputs_.push_back(s);
+  output_names_.push_back(std::move(name));
+}
+
+Circuit::Sig Circuit::make_node(NodeKind kind, Sig a, Sig b) {
+  if (a > b) std::swap(a, b);  // canonical operand order (AND/XOR commute)
+  const std::uint64_t key = strash_key(kind, a, b);
+  if (const auto it = strash_.find(key); it != strash_.end()) return it->second;
+  nodes_.push_back(Node{kind, a, b});
+  const Sig s = static_cast<Sig>((nodes_.size() - 1) << 1);
+  strash_.emplace(key, s);
+  return s;
+}
+
+Circuit::Sig Circuit::land(Sig a, Sig b) {
+  // Constant folding and trivial cases.
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == lnot(b)) return kFalse;
+  return make_node(NodeKind::And, a, b);
+}
+
+Circuit::Sig Circuit::lxor(Sig a, Sig b) {
+  if (a == kFalse) return b;
+  if (b == kFalse) return a;
+  if (a == kTrue) return lnot(b);
+  if (b == kTrue) return lnot(a);
+  if (a == b) return kFalse;
+  if (a == lnot(b)) return kTrue;
+  // Canonical form: store XOR with both operands un-complemented; the
+  // complement bits commute out: (~a ^ b) == ~(a ^ b).
+  bool neg = false;
+  if (sig_negated(a)) {
+    a = lnot(a);
+    neg = !neg;
+  }
+  if (sig_negated(b)) {
+    b = lnot(b);
+    neg = !neg;
+  }
+  const Sig s = make_node(NodeKind::Xor, a, b);
+  return neg ? lnot(s) : s;
+}
+
+Circuit::Sig Circuit::mux(Sig s, Sig t, Sig e) {
+  return lor(land(s, t), land(lnot(s), e));
+}
+
+Circuit::Sig Circuit::maj3(Sig a, Sig b, Sig c) {
+  return lor(land(a, b), lor(land(a, c), land(b, c)));
+}
+
+Circuit::Sig Circuit::and_n(const std::vector<Sig>& xs) {
+  if (xs.empty()) return kTrue;
+  std::vector<Sig> layer = xs;
+  while (layer.size() > 1) {
+    std::vector<Sig> next;
+    next.reserve((layer.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(land(layer[i], layer[i + 1]));
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+Circuit::Sig Circuit::or_n(const std::vector<Sig>& xs) {
+  std::vector<Sig> inv;
+  inv.reserve(xs.size());
+  for (const Sig x : xs) inv.push_back(lnot(x));
+  return lnot(and_n(inv));
+}
+
+Circuit::Sig Circuit::xor_n(const std::vector<Sig>& xs) {
+  Sig acc = kFalse;
+  for (const Sig x : xs) acc = lxor(acc, x);
+  return acc;
+}
+
+std::vector<Circuit::Sig> Circuit::add_word(const std::vector<Sig>& a,
+                                            const std::vector<Sig>& b,
+                                            bool keep_carry) {
+  if (a.size() != b.size()) throw std::invalid_argument("add_word width mismatch");
+  std::vector<Sig> sum;
+  sum.reserve(a.size() + (keep_carry ? 1 : 0));
+  Sig carry = kFalse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Sig axb = lxor(a[i], b[i]);
+    sum.push_back(lxor(axb, carry));
+    carry = maj3(a[i], b[i], carry);
+  }
+  if (keep_carry) sum.push_back(carry);
+  return sum;
+}
+
+std::vector<Circuit::Sig> Circuit::mul_word(const std::vector<Sig>& a,
+                                            const std::vector<Sig>& b,
+                                            std::size_t out_width) {
+  // Shift-and-add array multiplier, truncated to out_width bits.
+  std::vector<Sig> acc(out_width, kFalse);
+  for (std::size_t i = 0; i < b.size() && i < out_width; ++i) {
+    std::vector<Sig> partial(out_width, kFalse);
+    for (std::size_t j = 0; j < a.size() && i + j < out_width; ++j)
+      partial[i + j] = land(a[j], b[i]);
+    acc = add_word(acc, partial);
+  }
+  return acc;
+}
+
+Circuit::Sig Circuit::eq_word(const std::vector<Sig>& a,
+                              const std::vector<Sig>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("eq_word width mismatch");
+  std::vector<Sig> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(lxnor(a[i], b[i]));
+  return and_n(bits);
+}
+
+Circuit::Sig Circuit::ult_word(const std::vector<Sig>& a,
+                               const std::vector<Sig>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("ult_word width mismatch");
+  Sig lt = kFalse;  // from LSB upward: lt' = (a<b at this bit) | (a==b)&lt
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Sig bit_lt = land(lnot(a[i]), b[i]);
+    const Sig bit_eq = lxnor(a[i], b[i]);
+    lt = lor(bit_lt, land(bit_eq, lt));
+  }
+  return lt;
+}
+
+std::vector<Circuit::Sig> Circuit::constant_word(std::uint64_t value,
+                                                 std::size_t width) {
+  std::vector<Sig> w(width);
+  for (std::size_t i = 0; i < width; ++i)
+    w[i] = ((value >> i) & 1u) ? kTrue : kFalse;
+  return w;
+}
+
+std::vector<Circuit::Sig> Circuit::input_word(std::size_t width,
+                                              const std::string& prefix) {
+  std::vector<Sig> w(width);
+  for (std::size_t i = 0; i < width; ++i)
+    w[i] = add_input(prefix + "[" + std::to_string(i) + "]");
+  return w;
+}
+
+std::vector<Circuit::Sig> Circuit::append(const Circuit& sub,
+                                          const std::vector<Sig>& bindings) {
+  if (bindings.size() != sub.num_inputs())
+    throw std::invalid_argument("append: binding count mismatch");
+  // Map sub node index -> signal in this circuit.
+  std::vector<Sig> map(sub.nodes_.size());
+  map[0] = kFalse;
+  std::size_t next_input = 0;
+  for (std::size_t idx = 1; idx < sub.nodes_.size(); ++idx) {
+    const Node& n = sub.nodes_[idx];
+    auto xlat = [&](Sig s) {
+      return map[sig_node(s)] ^ (s & 1u);
+    };
+    switch (n.kind) {
+      case NodeKind::Input:
+        map[idx] = bindings[next_input++];
+        break;
+      case NodeKind::And:
+        map[idx] = land(xlat(n.a), xlat(n.b));
+        break;
+      case NodeKind::Xor:
+        map[idx] = lxor(xlat(n.a), xlat(n.b));
+        break;
+      case NodeKind::Const:
+        map[idx] = kFalse;
+        break;
+    }
+  }
+  std::vector<Sig> outs;
+  outs.reserve(sub.outputs_.size());
+  for (const Sig o : sub.outputs_)
+    outs.push_back(map[sig_node(o)] ^ (o & 1u));
+  return outs;
+}
+
+std::vector<bool> Circuit::simulate(const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size())
+    throw std::invalid_argument("simulate: input count mismatch");
+  std::vector<bool> val(nodes_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t idx = 1; idx < nodes_.size(); ++idx) {
+    const Node& n = nodes_[idx];
+    auto get = [&](Sig s) { return val[sig_node(s)] ^ sig_negated(s); };
+    switch (n.kind) {
+      case NodeKind::Input:
+        val[idx] = input_values[next_input++];
+        break;
+      case NodeKind::And:
+        val[idx] = get(n.a) && get(n.b);
+        break;
+      case NodeKind::Xor:
+        val[idx] = get(n.a) != get(n.b);
+        break;
+      case NodeKind::Const:
+        val[idx] = false;
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const Sig o : outputs_) out.push_back(val[sig_node(o)] ^ sig_negated(o));
+  return out;
+}
+
+}  // namespace unigen

@@ -1,0 +1,147 @@
+#include "cnf/cnf.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace unigen {
+
+void Cnf::add_clause(std::vector<Lit> lits) {
+  for (const Lit l : lits) {
+    if (!l.valid()) throw std::invalid_argument("invalid literal in clause");
+    ensure_vars(l.var() + 1);
+  }
+  clauses_.push_back(std::move(lits));
+}
+
+void Cnf::add_xor(XorConstraint x) {
+  for (const Var v : x.vars) {
+    if (v < 0) throw std::invalid_argument("invalid variable in xor");
+    ensure_vars(v + 1);
+  }
+  xors_.push_back(std::move(x));
+}
+
+void Cnf::set_sampling_set(std::vector<Var> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  for (const Var v : vars) {
+    if (v < 0 || v >= num_vars_)
+      throw std::invalid_argument("sampling variable out of range");
+  }
+  sampling_set_ = std::move(vars);
+}
+
+std::vector<Var> Cnf::sampling_set_or_all() const {
+  if (sampling_set_) return *sampling_set_;
+  std::vector<Var> all(static_cast<std::size_t>(num_vars_));
+  for (Var v = 0; v < num_vars_; ++v) all[static_cast<std::size_t>(v)] = v;
+  return all;
+}
+
+bool Cnf::satisfied_by(const Model& m) const {
+  if (m.size() < static_cast<std::size_t>(num_vars_)) return false;
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (const Lit l : clause) {
+      if (eval(m, l) == lbool::True) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  for (const auto& x : xors_) {
+    bool parity = false;
+    for (const Var v : x.vars) {
+      const lbool val = m[static_cast<std::size_t>(v)];
+      if (val == lbool::Undef) return false;
+      parity ^= (val == lbool::True);
+    }
+    if (parity != x.rhs) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Emits CNF clauses for XOR(lits) = true, where |lits| <= chunk.  All
+/// 2^(n-1) clauses with an even number of negations.
+void emit_small_xor(Cnf& out, const std::vector<Lit>& lits) {
+  const std::size_t n = lits.size();
+  if (n == 0) throw std::logic_error("unsatisfiable empty xor");
+  // Clause set: every polarity pattern with an even number of negations.
+  // (For n=2 this yields (a v b), (~a v ~b), i.e. a != b.)
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (std::popcount(mask) % 2 != 0) continue;
+    std::vector<Lit> clause;
+    clause.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool flip = (mask >> i) & 1u;
+      clause.push_back(flip ? ~lits[i] : lits[i]);
+    }
+    out.add_clause(std::move(clause));
+  }
+}
+
+}  // namespace
+
+Cnf Cnf::expand_xors(int chunk) const {
+  if (chunk < 2) throw std::invalid_argument("chunk must be >= 2");
+  Cnf out(num_vars_);
+  out.name = name;
+  for (const auto& clause : clauses_) out.add_clause(clause);
+  if (sampling_set_) out.set_sampling_set(*sampling_set_);
+
+  for (const auto& x : xors_) {
+    // Normalize: duplicated variables cancel.
+    std::vector<Var> vars = x.vars;
+    std::sort(vars.begin(), vars.end());
+    std::vector<Var> norm;
+    for (std::size_t i = 0; i < vars.size();) {
+      std::size_t j = i;
+      while (j < vars.size() && vars[j] == vars[i]) ++j;
+      if ((j - i) % 2 == 1) norm.push_back(vars[i]);
+      i = j;
+    }
+    bool rhs = x.rhs;
+    if (norm.empty()) {
+      if (rhs) {
+        // 0 = 1: unsatisfiable; encode with the empty clause.
+        out.add_clause({});
+      }
+      continue;
+    }
+    // lits such that XOR(lits) = true encodes XOR(norm) = rhs: flip the
+    // polarity of one literal when rhs is false.
+    std::vector<Lit> lits;
+    lits.reserve(norm.size());
+    for (const Var v : norm) lits.emplace_back(v, false);
+    if (!rhs) lits[0] = ~lits[0];
+
+    // Chunk long XORs: XOR(l1..lk) = t1, XOR(t1, lk+1..) = t2, ...
+    while (lits.size() > static_cast<std::size_t>(chunk)) {
+      std::vector<Lit> head(lits.begin(), lits.begin() + (chunk - 1));
+      const Var t = out.new_var();
+      head.emplace_back(t, true);  // XOR(head_vars) ^ t = 0  i.e. t = XOR(head)
+      emit_small_xor(out, head);
+      std::vector<Lit> rest;
+      rest.emplace_back(t, false);
+      rest.insert(rest.end(), lits.begin() + (chunk - 1), lits.end());
+      lits = std::move(rest);
+    }
+    emit_small_xor(out, lits);
+  }
+  return out;
+}
+
+std::string Cnf::summary() const {
+  std::ostringstream os;
+  os << (name.empty() ? std::string("<cnf>") : name) << ": vars=" << num_vars_
+     << " clauses=" << clauses_.size() << " xors=" << xors_.size();
+  if (sampling_set_) os << " |S|=" << sampling_set_->size();
+  return os.str();
+}
+
+}  // namespace unigen

@@ -1,0 +1,87 @@
+#pragma once
+// In-memory CNF-XOR formula: a conjunction of OR-clauses and XOR-clauses
+// plus an optional sampling set (the paper's set S of sampling variables,
+// intended to be an independent support).
+//
+// This is the interchange type between the front end (DIMACS / Tseitin), the
+// solver, the counters and the samplers.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnf/types.hpp"
+
+namespace unigen {
+
+/// An XOR constraint: XOR of `vars` equals `rhs`.
+struct XorConstraint {
+  std::vector<Var> vars;
+  bool rhs = false;
+
+  bool operator==(const XorConstraint&) const = default;
+};
+
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(Var num_vars) : num_vars_(num_vars) {}
+
+  Var num_vars() const { return num_vars_; }
+  /// Grows the variable space to at least `n` variables.
+  void ensure_vars(Var n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+  /// Allocates and returns a fresh variable.
+  Var new_var() { return num_vars_++; }
+
+  void add_clause(std::vector<Lit> lits);
+  void add_unit(Lit l) { add_clause({l}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+  void add_xor(XorConstraint x);
+  void add_xor(std::vector<Var> vars, bool rhs) {
+    add_xor(XorConstraint{std::move(vars), rhs});
+  }
+
+  const std::vector<std::vector<Lit>>& clauses() const { return clauses_; }
+  const std::vector<XorConstraint>& xors() const { return xors_; }
+
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_xors() const { return xors_.size(); }
+
+  /// The sampling set S (paper Section 4).  Empty optional = not declared;
+  /// samplers then default to the full support.
+  void set_sampling_set(std::vector<Var> vars);
+  const std::optional<std::vector<Var>>& sampling_set() const {
+    return sampling_set_;
+  }
+  /// Sampling set if declared, otherwise all variables.
+  std::vector<Var> sampling_set_or_all() const;
+
+  /// True iff `m` (a total assignment over num_vars()) satisfies every
+  /// clause and every XOR constraint.
+  bool satisfied_by(const Model& m) const;
+
+  /// Expands every XOR constraint into equivalent OR-clauses, chunking long
+  /// XORs with fresh auxiliary variables so no clause group exceeds
+  /// 2^(chunk-1) clauses.  Auxiliary variables are functionally defined by
+  /// the chunk they cut, so the total model count is preserved.  Returns the
+  /// purely-CNF formula; `this` is unchanged.
+  Cnf expand_xors(int chunk = 5) const;
+
+  /// Human-readable one-line summary for logs.
+  std::string summary() const;
+
+  /// Optional instance name (benchmark id) carried through experiments.
+  std::string name;
+
+ private:
+  Var num_vars_ = 0;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<XorConstraint> xors_;
+  std::optional<std::vector<Var>> sampling_set_;
+};
+
+}  // namespace unigen

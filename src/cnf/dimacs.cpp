@@ -1,0 +1,173 @@
+#include "cnf/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace unigen {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("dimacs parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::vector<Var> sampling;
+  bool saw_ind = false;
+  bool saw_header = false;
+  Var declared_vars = 0;
+  std::size_t declared_clauses = 0;
+  std::size_t parsed_clauses = 0;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank line
+
+    if (tok == "c") {
+      std::string kind;
+      if (ls >> kind && kind == "ind") {
+        saw_ind = true;
+        long long v = 0;
+        while (ls >> v && v != 0) {
+          if (v < 0) fail(line_no, "negative variable in c ind");
+          sampling.push_back(static_cast<Var>(v - 1));
+        }
+      }
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      long long nv = 0, nc = 0;
+      if (!(ls >> fmt >> nv >> nc) || (fmt != "cnf" && fmt != "pcnf"))
+        fail(line_no, "malformed problem line");
+      saw_header = true;
+      declared_vars = static_cast<Var>(nv);
+      declared_clauses = static_cast<std::size_t>(nc);
+      cnf.ensure_vars(declared_vars);
+      continue;
+    }
+
+    // Clause or xor-clause line.  Lines may wrap; read ints until 0.
+    bool is_xor = false;
+    std::string first = tok;
+    if (!first.empty() && first[0] == 'x') {
+      is_xor = true;
+      first = first.substr(1);
+      if (first.empty()) {
+        if (!(ls >> first)) fail(line_no, "empty xor line");
+      }
+    }
+    std::vector<long long> nums;
+    try {
+      nums.push_back(std::stoll(first));
+    } catch (const std::exception&) {
+      fail(line_no, "expected integer, got '" + tok + "'");
+    }
+    long long v = 0;
+    while (nums.back() != 0) {
+      if (!(ls >> v)) {
+        // clause continues on the next physical line
+        if (!std::getline(in, line)) fail(line_no, "unterminated clause");
+        ++line_no;
+        ls.clear();
+        ls.str(line);
+        continue;
+      }
+      nums.push_back(v);
+    }
+    nums.pop_back();  // drop terminating 0
+
+    if (is_xor) {
+      // CryptoMiniSAT convention: negated literal flips the rhs.
+      XorConstraint x;
+      x.rhs = true;
+      for (const long long n : nums) {
+        if (n == 0) continue;
+        if (n < 0) x.rhs = !x.rhs;
+        x.vars.push_back(static_cast<Var>(std::llabs(n) - 1));
+      }
+      cnf.add_xor(std::move(x));
+    } else {
+      std::vector<Lit> lits;
+      lits.reserve(nums.size());
+      for (const long long n : nums)
+        lits.push_back(Lit::from_dimacs(static_cast<std::int32_t>(n)));
+      cnf.add_clause(std::move(lits));
+      ++parsed_clauses;
+    }
+  }
+
+  if (!saw_header) fail(line_no, "missing p cnf header");
+  if (declared_clauses != 0 && parsed_clauses > declared_clauses + cnf.num_xors())
+    fail(line_no, "more clauses than declared");
+  cnf.ensure_vars(declared_vars);
+  if (saw_ind) cnf.set_sampling_set(std::move(sampling));
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+Cnf parse_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  Cnf cnf = parse_dimacs(in);
+  cnf.name = path;
+  return cnf;
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  if (!cnf.name.empty()) out << "c " << cnf.name << "\n";
+  if (const auto& ss = cnf.sampling_set()) {
+    for (std::size_t i = 0; i < ss->size(); i += 10) {
+      out << "c ind";
+      for (std::size_t j = i; j < std::min(ss->size(), i + 10); ++j)
+        out << ' ' << ((*ss)[j] + 1);
+      out << " 0\n";
+    }
+  }
+  out << "p cnf " << cnf.num_vars() << ' '
+      << (cnf.num_clauses() + cnf.num_xors()) << "\n";
+  for (const auto& clause : cnf.clauses()) {
+    for (const Lit l : clause) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+  for (const auto& x : cnf.xors()) {
+    if (x.vars.empty()) {
+      // Constant XOR: rhs=false is a tautology, rhs=true is the empty clause.
+      if (x.rhs) out << "0\n";
+      continue;
+    }
+    out << 'x';
+    // Encode rhs in the sign of the first variable (CryptoMiniSAT style).
+    for (std::size_t i = 0; i < x.vars.size(); ++i) {
+      const long long v = x.vars[i] + 1;
+      out << (i == 0 && !x.rhs ? -v : v) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+std::string to_dimacs_string(const Cnf& cnf) {
+  std::ostringstream os;
+  write_dimacs(cnf, os);
+  return os.str();
+}
+
+void write_dimacs_file(const Cnf& cnf, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_dimacs(cnf, out);
+}
+
+}  // namespace unigen

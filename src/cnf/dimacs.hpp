@@ -1,0 +1,28 @@
+#pragma once
+// DIMACS CNF reader/writer with the two extensions used by the paper's
+// toolchain:
+//   * `c ind v1 v2 ... 0` comment lines declaring the sampling set (the
+//     format the UniGen/ApproxMC tool family standardized), and
+//   * `x`-prefixed XOR clause lines (CryptoMiniSAT convention):
+//     `x1 -2 3 0` means  v1 XOR ~v2 XOR v3  = true.
+
+#include <iosfwd>
+#include <string>
+
+#include "cnf/cnf.hpp"
+
+namespace unigen {
+
+/// Parses DIMACS text.  Throws std::runtime_error with a line number on
+/// malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+Cnf parse_dimacs_file(const std::string& path);
+
+/// Serializes; XOR constraints are written as `x...` lines and the sampling
+/// set (if any) as `c ind` lines of at most 10 variables each.
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+std::string to_dimacs_string(const Cnf& cnf);
+void write_dimacs_file(const Cnf& cnf, const std::string& path);
+
+}  // namespace unigen

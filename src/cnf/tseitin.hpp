@@ -1,0 +1,43 @@
+#pragma once
+// Tseitin encoding of a Circuit into CNF.
+//
+// Every circuit node receives one CNF variable; gate semantics become 3–4
+// clauses per node.  The resulting CNF's sampling set is set to the primary
+// input variables: in any satisfying assignment the auxiliary (gate)
+// variables are uniquely determined by the inputs, so the inputs are an
+// independent support — the property UniGen relies on (paper Section 4).
+
+#include <vector>
+
+#include "cnf/circuit.hpp"
+#include "cnf/cnf.hpp"
+
+namespace unigen {
+
+struct TseitinResult {
+  Cnf cnf;
+  /// CNF variable of each primary input, in circuit input order.
+  std::vector<Var> input_vars;
+  /// CNF literal of each primary output, in circuit output order.
+  std::vector<Lit> output_lits;
+};
+
+struct TseitinOptions {
+  /// Add a unit clause asserting every primary output true (the usual way a
+  /// constraint circuit becomes a constraint CNF).
+  bool assert_outputs = true;
+  /// Declare the primary inputs as the CNF sampling set.
+  bool mark_inputs_as_sampling_set = true;
+  /// Encode XOR gates as native 3-variable XOR constraints (g ⊕ a ⊕ b = c)
+  /// instead of 4 OR-clauses.  CryptoMiniSAT recovers exactly these XORs
+  /// from the clausal encoding anyway ("xor recovery"); emitting them
+  /// natively lets the solver's Gaussian elimination and parity propagation
+  /// see the circuit's linear structure, which is essential for refuting
+  /// empty hash cells efficiently.
+  bool native_xor_gates = true;
+};
+
+TseitinResult tseitin_encode(const Circuit& circuit,
+                             const TseitinOptions& options = {});
+
+}  // namespace unigen

@@ -1,0 +1,80 @@
+#pragma once
+// Fundamental SAT types: variables, literals, and three-valued logic.
+// Conventions follow MiniSat: a variable is a 0-based index, a literal packs
+// variable and sign as 2*var+sign, and `lbool` is {True, False, Undef}.
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace unigen {
+
+using Var = std::int32_t;
+inline constexpr Var kNoVar = -1;
+
+/// A literal: variable with polarity.  Internally 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  constexpr Lit() : x_(-2) {}
+  constexpr Lit(Var v, bool negated) : x_(2 * v + (negated ? 1 : 0)) {
+    assert(v >= 0);
+  }
+
+  static constexpr Lit from_index(std::int32_t idx) {
+    Lit l;
+    l.x_ = idx;
+    return l;
+  }
+
+  /// Parses DIMACS convention: +k is variable k-1 positive, -k negative.
+  static constexpr Lit from_dimacs(std::int32_t d) {
+    assert(d != 0);
+    return d > 0 ? Lit(d - 1, false) : Lit(-d - 1, true);
+  }
+
+  constexpr Var var() const { return x_ >> 1; }
+  constexpr bool sign() const { return (x_ & 1) != 0; }  // true = negated
+  constexpr std::int32_t index() const { return x_; }    // for array indexing
+  constexpr std::int32_t to_dimacs() const {
+    return sign() ? -(var() + 1) : (var() + 1);
+  }
+
+  constexpr Lit operator~() const { return from_index(x_ ^ 1); }
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr bool operator<(const Lit& o) const { return x_ < o.x_; }
+
+  constexpr bool valid() const { return x_ >= 0; }
+
+ private:
+  std::int32_t x_;
+};
+
+inline constexpr Lit kUndefLit{};
+
+inline std::ostream& operator<<(std::ostream& os, Lit l) {
+  return os << l.to_dimacs();
+}
+
+/// Three-valued logic.
+enum class lbool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline constexpr lbool to_lbool(bool b) { return b ? lbool::True : lbool::False; }
+
+/// Negation; Undef is a fixed point.
+inline constexpr lbool operator~(lbool v) {
+  return v == lbool::Undef
+             ? lbool::Undef
+             : (v == lbool::True ? lbool::False : lbool::True);
+}
+
+/// A total assignment (model), indexed by variable.
+using Model = std::vector<lbool>;
+
+/// Evaluates a literal under a model.
+inline lbool eval(const Model& m, Lit l) {
+  const lbool v = m[static_cast<std::size_t>(l.var())];
+  return l.sign() ? ~v : v;
+}
+
+}  // namespace unigen

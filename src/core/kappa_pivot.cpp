@@ -1,0 +1,45 @@
+#include "core/kappa_pivot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace unigen {
+namespace {
+
+/// ε as a function of κ; strictly increasing on [0, 1).
+double epsilon_of_kappa(double kappa) {
+  const double d = 1.0 - kappa;
+  return (1.0 + kappa) * (2.23 + 0.48 / (d * d)) - 1.0;
+}
+
+}  // namespace
+
+KappaPivot compute_kappa_pivot(double epsilon) {
+  if (!(epsilon > kUniGenMinEpsilon))
+    throw std::invalid_argument(
+        "UniGen requires epsilon > 1.71 (paper Algorithm 2)");
+
+  // Bisection on the monotone map κ -> ε(κ) over [0, 1).
+  double lo = 0.0, hi = 1.0 - 1e-12;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (epsilon_of_kappa(mid) < epsilon)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  KappaPivot result;
+  result.kappa = 0.5 * (lo + hi);
+
+  const double inv = 1.0 + 1.0 / result.kappa;
+  result.pivot = static_cast<std::uint64_t>(
+      std::ceil(3.0 * std::exp(0.5) * inv * inv));
+  result.hi_thresh = static_cast<std::uint64_t>(
+      std::floor(1.0 + (1.0 + result.kappa) *
+                           static_cast<double>(result.pivot)));
+  result.lo_thresh =
+      static_cast<double>(result.pivot) / (1.0 + result.kappa);
+  return result;
+}
+
+}  // namespace unigen

@@ -1,0 +1,31 @@
+#pragma once
+// ComputeKappaPivot (paper Algorithm 2) and the derived cell-size
+// thresholds of Algorithm 1:
+//
+//   find κ ∈ [0,1)  with  ε = (1+κ)(2.23 + 0.48/(1−κ)²) − 1
+//   pivot    = ⌈3·e^{1/2}·(1 + 1/κ)²⌉
+//   hiThresh = 1 + (1+κ)·pivot
+//   loThresh = pivot / (1+κ)
+//
+// The tolerance must exceed 1.71: at κ → 0 the defining expression evaluates
+// to 1.71, so smaller ε admits no κ (the paper's "for technical reasons").
+
+#include <cstdint>
+
+namespace unigen {
+
+/// Smallest usable tolerance (exclusive bound).
+inline constexpr double kUniGenMinEpsilon = 1.71;
+
+struct KappaPivot {
+  double kappa = 0.0;
+  std::uint64_t pivot = 0;
+  /// Cell-size acceptance window: loThresh <= |cell| <= hiThresh.
+  double lo_thresh = 0.0;
+  std::uint64_t hi_thresh = 0;
+};
+
+/// Throws std::invalid_argument when epsilon <= 1.71.
+KappaPivot compute_kappa_pivot(double epsilon);
+
+}  // namespace unigen

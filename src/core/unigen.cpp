@@ -1,0 +1,225 @@
+#include "core/unigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/xor_hash.hpp"
+#include "sat/enumerator.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+UniGen::UniGen(Cnf cnf, UniGenOptions options, Rng& rng)
+    : cnf_(std::move(cnf)),
+      sampling_set_(cnf_.sampling_set_or_all()),
+      options_(options),
+      rng_(rng) {}
+
+bool UniGen::prepare() {
+  if (mode_ != Mode::kUnprepared) return mode_ != Mode::kTimedOut;
+  const Stopwatch watch;
+  const Deadline deadline = Deadline::in_seconds(options_.prepare_timeout_s);
+
+  // Lines 1–3: thresholds.
+  kp_ = compute_kappa_pivot(options_.epsilon);
+  stats_.kappa = kp_.kappa;
+  stats_.pivot = kp_.pivot;
+  stats_.hi_thresh = kp_.hi_thresh;
+  stats_.lo_thresh = kp_.lo_thresh;
+
+  // Lines 4–7: the easy case — enumerate up to hiThresh+1 witnesses; when
+  // at most hiThresh exist, uniform sampling is exact.
+  {
+    Solver solver;
+    solver.load(cnf_);
+    EnumerateOptions eopts;
+    eopts.max_models = kp_.hi_thresh + 1;
+    eopts.deadline = deadline;
+    eopts.projection = sampling_set_;
+    eopts.store_models = true;
+    const EnumerateResult r = enumerate_models(solver, eopts);
+    ++stats_.prepare_bsat_calls;
+    if (r.timed_out) {
+      mode_ = Mode::kTimedOut;
+      stats_.prepare_seconds = watch.seconds();
+      return false;
+    }
+    if (r.count == 0) {
+      mode_ = Mode::kUnsat;
+      stats_.prepare_seconds = watch.seconds();
+      return true;
+    }
+    if (r.count <= kp_.hi_thresh) {
+      trivial_models_ = r.models;
+      stats_.trivial = true;
+      mode_ = Mode::kTrivial;
+      stats_.prepare_seconds = watch.seconds();
+      return true;
+    }
+  }
+
+  // Lines 9–10: C <- ApproxModelCounter(F, 0.8, 0.8);
+  //             q <- ceil(log C + log 1.8 - log pivot)    (logs base 2).
+  ApproxMcOptions amc;
+  amc.epsilon = options_.counter_epsilon;
+  amc.delta = 1.0 - options_.counter_confidence;
+  amc.deadline = deadline;
+  amc.bsat_timeout_s = options_.bsat_timeout_s;
+  const ApproxMcResult count = approx_count(cnf_, amc, rng_);
+  stats_.prepare_bsat_calls += count.bsat_calls;
+  if (!count.valid) {
+    mode_ = Mode::kTimedOut;
+    stats_.prepare_seconds = watch.seconds();
+    return false;
+  }
+  stats_.approx_log2_count = count.log2_value();
+  stats_.q = static_cast<int>(std::ceil(
+      count.log2_value() + std::log2(1.8) -
+      std::log2(static_cast<double>(kp_.pivot))));
+
+  mode_ = Mode::kHashed;
+  stats_.prepare_seconds = watch.seconds();
+  return true;
+}
+
+SampleResult UniGen::sample() {
+  if (mode_ == Mode::kUnprepared && !prepare()) {
+    ++stats_.samples_requested;
+    ++stats_.samples_timed_out;
+    return SampleResult::timeout();
+  }
+  ++stats_.samples_requested;
+  const Stopwatch watch;
+  SampleResult result;
+  switch (mode_) {
+    case Mode::kUnsat:
+      result = SampleResult::unsat();
+      break;
+    case Mode::kTimedOut:
+      result = SampleResult::timeout();
+      break;
+    case Mode::kTrivial: {
+      // Lines 5–7: a uniformly random element of the full witness list.
+      const auto j = rng_.below(trivial_models_.size());
+      result = SampleResult::success(trivial_models_[j]);
+      break;
+    }
+    case Mode::kHashed:
+      result = sample_hashed();
+      break;
+    case Mode::kUnprepared:
+      result = SampleResult::timeout();  // unreachable
+      break;
+  }
+  stats_.sample_seconds += watch.seconds();
+  switch (result.status) {
+    case SampleResult::Status::kOk:
+      ++stats_.samples_ok;
+      break;
+    case SampleResult::Status::kFail:
+      ++stats_.samples_failed;
+      break;
+    case SampleResult::Status::kTimeout:
+      ++stats_.samples_timed_out;
+      break;
+    case SampleResult::Status::kUnsat:
+      break;
+  }
+  return result;
+}
+
+std::vector<Model> UniGen::accept_cell(bool& timed_out) {
+  // Lines 12–17.  i ranges over {q-3, ..., q}, clamped to valid hash sizes.
+  timed_out = false;
+  const Deadline deadline = Deadline::in_seconds(options_.sample_timeout_s);
+  const int n = static_cast<int>(sampling_set_.size());
+  const int i_last = std::clamp(stats_.q, 1, n);
+  const int i_first = std::clamp(stats_.q - 3, 1, i_last);
+
+  for (int i = i_first; i <= i_last; ++i) {
+    for (;;) {  // BSAT-timeout retry loop: repeat lines 14-16 with same i
+      if (deadline.expired()) {
+        timed_out = true;
+        return {};
+      }
+
+      // Lines 14–15: random h from H_xor(|S|, i, 3), random α.
+      const XorHash hash =
+          draw_xor_hash(sampling_set_, static_cast<std::size_t>(i), rng_);
+      stats_.total_xor_rows += hash.m();
+      stats_.total_xor_row_length +=
+          hash.average_row_length() * static_cast<double>(hash.m());
+
+      // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh).
+      Cnf hashed = cnf_;
+      hash.conjoin_to(hashed);
+      Solver solver;
+      solver.load(hashed);
+      EnumerateOptions eopts;
+      eopts.max_models = kp_.hi_thresh + 1;
+      const double budget = std::min(options_.bsat_timeout_s,
+                                     deadline.remaining_seconds());
+      eopts.deadline = Deadline::in_seconds(budget);
+      eopts.projection = sampling_set_;
+      eopts.store_models = true;
+      const EnumerateResult r = enumerate_models(solver, eopts);
+      ++stats_.sample_bsat_calls;
+
+      if (r.timed_out) {
+        ++stats_.bsat_timeout_retries;
+        continue;  // same i, fresh hash (paper Section 5)
+      }
+      // Line 17 acceptance test: loThresh <= |Y| <= hiThresh.
+      if (static_cast<double>(r.count) >= kp_.lo_thresh &&
+          r.count <= kp_.hi_thresh) {
+        return std::move(r.models);
+      }
+      break;  // cell out of range: next i
+    }
+  }
+  return {};  // line 19: ⊥
+}
+
+SampleResult UniGen::sample_hashed() {
+  bool timed_out = false;
+  std::vector<Model> cell = accept_cell(timed_out);
+  if (timed_out) return SampleResult::timeout();
+  if (cell.empty()) return SampleResult::failure();
+  // Lines 21–22: uniform element of the cell.
+  const auto j = rng_.below(cell.size());
+  return SampleResult::success(std::move(cell[j]));
+}
+
+std::vector<Model> UniGen::sample_batch(std::size_t max_batch) {
+  if (max_batch == 0) return {};
+  if (mode_ == Mode::kUnprepared && !prepare()) return {};
+  switch (mode_) {
+    case Mode::kUnsat:
+    case Mode::kTimedOut:
+      return {};
+    case Mode::kTrivial: {
+      // A uniform subset of the full witness list.
+      std::vector<std::size_t> order(trivial_models_.size());
+      for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+      rng_.shuffle(order);
+      std::vector<Model> batch;
+      const std::size_t take = std::min(max_batch, trivial_models_.size());
+      batch.reserve(take);
+      for (std::size_t k = 0; k < take; ++k)
+        batch.push_back(trivial_models_[order[k]]);
+      return batch;
+    }
+    case Mode::kHashed:
+      break;
+    case Mode::kUnprepared:
+      return {};  // unreachable
+  }
+  bool timed_out = false;
+  std::vector<Model> cell = accept_cell(timed_out);
+  if (cell.empty()) return {};
+  rng_.shuffle(cell);
+  if (cell.size() > max_batch) cell.resize(max_batch);
+  return cell;
+}
+
+}  // namespace unigen

@@ -1,0 +1,127 @@
+#pragma once
+// UniGen (paper Algorithm 1): hashing-based almost-uniform SAT witness
+// generator.  For every witness y of F and tolerance ε > 1.71,
+//
+//      1/((1+ε)(|R_F|−1))  <=  Pr[UniGen(F,ε,S) = y]  <=  (1+ε)/(|R_F|−1),
+//
+// with success probability >= 0.62 (Theorem 1), provided S is an
+// independent support of F.
+//
+// The implementation mirrors the paper's structure:
+//   prepare()  = lines 1–11: ComputeKappaPivot, the easy case (|R_F| <=
+//                hiThresh: exact enumeration, perfectly uniform draws), and
+//                otherwise one ApproxMC call fixing the candidate hash-count
+//                range {q−3, …, q}.  Runs once per formula.
+//   sample()   = lines 12–22: iterate i over the 4 candidate values, draw
+//                h ∈ H_xor(|S|, i, 3) and α, enumerate the cell with BSAT,
+//                accept when loThresh <= |cell| <= hiThresh, return a random
+//                element; ⊥ (kFail) when no i works.
+// A BSAT timeout repeats the same i with a fresh hash (paper Section 5).
+//
+// This split is the paper's amortization argument: unlike "leapfrogging" it
+// loses no guarantee, because lines 12–22 are i.i.d. across samples.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "core/kappa_pivot.hpp"
+#include "core/sampler.hpp"
+#include "counting/approxmc.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+struct UniGenOptions {
+  /// Tolerance ε (> 1.71).  The paper's experiments use 6.
+  double epsilon = 6.0;
+  /// Per-BSAT-invocation timeout in seconds (paper: 2500 s).
+  double bsat_timeout_s = 2500.0;
+  /// Budget for prepare() in seconds (paper: part of the 20 h total).
+  double prepare_timeout_s = 72000.0;
+  /// Budget for one sample() call in seconds.
+  double sample_timeout_s = 72000.0;
+  /// ApproxModelCounter tolerance/confidence (paper line 9: 0.8 and 0.8).
+  double counter_epsilon = 0.8;
+  double counter_confidence = 0.8;
+};
+
+struct UniGenStats {
+  // prepare-time quantities
+  double kappa = 0.0;
+  std::uint64_t pivot = 0;
+  std::uint64_t hi_thresh = 0;
+  double lo_thresh = 0.0;
+  double approx_log2_count = 0.0;  ///< log2 of the ApproxMC estimate C
+  int q = 0;                       ///< ⌈log C + log 1.8 − log pivot⌉
+  double prepare_seconds = 0.0;
+  std::uint64_t prepare_bsat_calls = 0;
+  bool trivial = false;  ///< easy case: |R_F| <= hiThresh
+
+  // per-sample aggregates
+  std::uint64_t samples_requested = 0;
+  std::uint64_t samples_ok = 0;
+  std::uint64_t samples_failed = 0;   ///< ⊥ outcomes
+  std::uint64_t samples_timed_out = 0;
+  std::uint64_t sample_bsat_calls = 0;
+  std::uint64_t bsat_timeout_retries = 0;
+  double sample_seconds = 0.0;
+  /// Average XOR-row length over all hash rows drawn (≈ |S|/2).
+  double total_xor_row_length = 0.0;
+  std::uint64_t total_xor_rows = 0;
+  double average_xor_length() const {
+    return total_xor_rows == 0 ? 0.0
+                               : total_xor_row_length /
+                                     static_cast<double>(total_xor_rows);
+  }
+  double success_rate() const {
+    return samples_requested == 0
+               ? 0.0
+               : static_cast<double>(samples_ok) /
+                     static_cast<double>(samples_requested);
+  }
+};
+
+class UniGen final : public WitnessSampler {
+ public:
+  /// `cnf` is copied.  The sampling set S is taken from the formula
+  /// (Cnf::sampling_set()); when absent the full support is used — legal,
+  /// but without the paper's scalability benefit.
+  UniGen(Cnf cnf, UniGenOptions options, Rng& rng);
+
+  bool prepare() override;
+  SampleResult sample() override;
+  std::string name() const override { return "UniGen"; }
+
+  /// UniGen2-style batched sampling (the successor paper's key
+  /// optimization, implemented here as an extension; see DESIGN.md):
+  /// draws up to `max_batch` *distinct* witnesses from a single accepted
+  /// hash cell, amortizing one hashed BSAT query over many witnesses.
+  /// Within a batch, witnesses are exchangeable (a uniform subset of the
+  /// cell) but not independent across the batch; callers wanting i.i.d.
+  /// draws should use sample().  Returns an empty vector on ⊥/timeout.
+  std::vector<Model> sample_batch(std::size_t max_batch);
+
+  const UniGenStats& stats() const { return stats_; }
+  const UniGenOptions& options() const { return options_; }
+
+ private:
+  enum class Mode { kUnprepared, kTrivial, kHashed, kUnsat, kTimedOut };
+
+  /// Lines 12–17: draws hashes until a cell lands in the acceptance
+  /// window; returns its witnesses (empty = ⊥, timeout signalled via
+  /// `timed_out`).
+  std::vector<Model> accept_cell(bool& timed_out);
+  SampleResult sample_hashed();
+
+  Cnf cnf_;
+  std::vector<Var> sampling_set_;
+  UniGenOptions options_;
+  Rng& rng_;
+  KappaPivot kp_;
+  Mode mode_ = Mode::kUnprepared;
+  std::vector<Model> trivial_models_;  // the easy case's full witness list
+  UniGenStats stats_;
+};
+
+}  // namespace unigen

@@ -1,0 +1,103 @@
+#include "core/uniwit.hpp"
+
+#include <algorithm>
+
+#include "hashing/xor_hash.hpp"
+#include "sat/enumerator.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+UniWit::UniWit(Cnf cnf, UniWitOptions options, Rng& rng)
+    : cnf_(std::move(cnf)), options_(options), rng_(rng) {
+  full_support_.resize(static_cast<std::size_t>(cnf_.num_vars()));
+  for (Var v = 0; v < cnf_.num_vars(); ++v)
+    full_support_[static_cast<std::size_t>(v)] = v;
+}
+
+bool UniWit::prepare() {
+  if (!prepared_) {
+    kp_ = compute_kappa_pivot(options_.epsilon);
+    prepared_ = true;
+  }
+  return true;
+}
+
+SampleResult UniWit::sample() {
+  prepare();
+  ++stats_.samples_requested;
+  const Stopwatch watch;
+  const Deadline deadline = Deadline::in_seconds(options_.sample_timeout_s);
+
+  auto finish = [&](SampleResult r) {
+    stats_.sample_seconds += watch.seconds();
+    switch (r.status) {
+      case SampleResult::Status::kOk:
+        ++stats_.samples_ok;
+        break;
+      case SampleResult::Status::kFail:
+        ++stats_.samples_failed;
+        break;
+      case SampleResult::Status::kTimeout:
+        ++stats_.samples_timed_out;
+        break;
+      case SampleResult::Status::kUnsat:
+        break;
+    }
+    return r;
+  };
+
+  auto bounded_enumerate = [&](const Cnf& formula,
+                               EnumerateResult& out) -> bool {
+    Solver solver;
+    solver.load(formula);
+    EnumerateOptions eopts;
+    eopts.max_models = kp_.hi_thresh + 1;
+    const double budget =
+        std::min(options_.bsat_timeout_s, deadline.remaining_seconds());
+    eopts.deadline = Deadline::in_seconds(budget);
+    eopts.projection = full_support_;  // blocking over the full support
+    eopts.store_models = true;
+    out = enumerate_models(solver, eopts);
+    ++stats_.bsat_calls;
+    return !out.timed_out;
+  };
+
+  // Easy case: few enough witnesses overall.  UniWit pays for this check on
+  // EVERY sample — nothing is cached across calls.
+  EnumerateResult base;
+  if (!bounded_enumerate(cnf_, base)) return finish(SampleResult::timeout());
+  if (base.count == 0) return finish(SampleResult::unsat());
+  if (base.count <= kp_.hi_thresh) {
+    const auto j = rng_.below(base.models.size());
+    return finish(SampleResult::success(base.models[j]));
+  }
+
+  // Sequential scan over m, hashing over the FULL support: fresh for every
+  // witness, long XOR rows (~|X|/2).
+  const int n = cnf_.num_vars();
+  for (int m = 1; m <= n; ++m) {
+    if (deadline.expired()) return finish(SampleResult::timeout());
+    const XorHash hash =
+        draw_xor_hash(full_support_, static_cast<std::size_t>(m), rng_);
+    stats_.total_xor_rows += hash.m();
+    stats_.total_xor_row_length +=
+        hash.average_row_length() * static_cast<double>(hash.m());
+    Cnf hashed = cnf_;
+    hash.conjoin_to(hashed);
+    EnumerateResult cell;
+    if (!bounded_enumerate(hashed, cell)) {
+      --m;  // BSAT timeout: retry the same m with a fresh hash
+      if (deadline.expired()) return finish(SampleResult::timeout());
+      continue;
+    }
+    if (cell.count >= 1 && cell.count <= kp_.hi_thresh) {
+      const auto j = rng_.below(cell.models.size());
+      return finish(SampleResult::success(cell.models[j]));
+    }
+    if (cell.count == 0) break;  // cells only shrink; give up (⊥)
+  }
+  return finish(SampleResult::failure());
+}
+
+}  // namespace unigen

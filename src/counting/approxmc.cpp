@@ -1,0 +1,187 @@
+#include "counting/approxmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/xor_hash.hpp"
+#include "sat/enumerator.hpp"
+
+namespace unigen {
+namespace {
+
+struct Estimate {
+  std::uint64_t cell_count;
+  std::uint32_t hash_count;
+  double log2_value() const {
+    return std::log2(static_cast<double>(cell_count)) + hash_count;
+  }
+};
+
+struct ProbeOutcome {
+  std::uint64_t count = 0;
+  bool small = false;     // count <= pivot with the space exhausted
+  bool timed_out = false;
+};
+
+Deadline per_call_deadline(const ApproxMcOptions& options) {
+  if (options.bsat_timeout_s <= 0.0) return options.deadline;
+  const double remaining = options.deadline.remaining_seconds();
+  return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
+}
+
+/// BSAT on F ∧ (h = α) with a fresh m-row hash, bounded at pivot+1.
+ProbeOutcome probe(const Cnf& base, const std::vector<Var>& sampling_set,
+                   std::uint32_t m, std::uint64_t pivot,
+                   const ApproxMcOptions& options, Rng& rng,
+                   std::uint64_t& bsat_calls) {
+  Cnf hashed = base;
+  const XorHash h = draw_xor_hash(sampling_set, m, rng);
+  h.conjoin_to(hashed);
+
+  Solver solver;
+  solver.load(hashed);
+  EnumerateOptions eopts;
+  eopts.max_models = pivot + 1;
+  eopts.deadline = per_call_deadline(options);
+  eopts.projection = sampling_set;
+  eopts.store_models = false;
+  const EnumerateResult r = enumerate_models(solver, eopts);
+  ++bsat_calls;
+
+  ProbeOutcome out;
+  out.count = r.count;
+  out.timed_out = r.timed_out;
+  out.small = !r.timed_out && r.count <= pivot;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t approxmc_pivot(double epsilon) {
+  if (epsilon <= 0.0) throw std::invalid_argument("approxmc: epsilon must be > 0");
+  return 2 * static_cast<std::uint64_t>(std::ceil(
+                 3.0 * std::exp(0.5) * (1.0 + 1.0 / epsilon) *
+                 (1.0 + 1.0 / epsilon)));
+}
+
+int approxmc_iteration_count(double delta) {
+  if (delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("approxmc: delta must be in (0,1)");
+  const double p = 1.0 - std::exp(-1.5);  // per-iteration success probability
+  for (int t = 1; t <= 999; t += 2) {
+    // Median of t fails iff at least ceil(t/2) iterations fail:
+    // tail = sum_{k=ceil(t/2)}^{t} C(t,k) (1-p)^k p^(t-k).
+    double fail = 0.0;
+    for (int k = (t + 1) / 2; k <= t; ++k) {
+      double log_c = 0.0;
+      for (int i = 0; i < k; ++i)
+        log_c += std::log(static_cast<double>(t - i)) -
+                 std::log(static_cast<double>(i + 1));
+      fail += std::exp(log_c + k * std::log(1.0 - p) +
+                       (t - k) * std::log(p));
+    }
+    if (fail <= delta) return t;
+  }
+  return 999;
+}
+
+ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
+                            Rng& rng) {
+  ApproxMcResult result;
+  result.pivot = approxmc_pivot(options.epsilon);
+  const std::vector<Var> sampling_set = cnf.sampling_set_or_all();
+  const auto n = static_cast<std::uint32_t>(sampling_set.size());
+
+  // Unhashed first: small solution spaces are counted exactly.
+  {
+    Solver solver;
+    solver.load(cnf);
+    EnumerateOptions eopts;
+    eopts.max_models = result.pivot + 1;
+    eopts.deadline = per_call_deadline(options);
+    eopts.projection = sampling_set;
+    eopts.store_models = false;
+    const EnumerateResult r = enumerate_models(solver, eopts);
+    ++result.bsat_calls;
+    if (r.timed_out) {
+      result.timed_out = true;
+      return result;
+    }
+    if (r.count <= result.pivot) {
+      result.valid = true;
+      result.exact = true;
+      result.cell_count = r.count;
+      result.hash_count = 0;
+      return result;
+    }
+  }
+  if (n == 0) {
+    // Sampling set exhausted but more than pivot projections exist — cannot
+    // happen; defensive.
+    return result;
+  }
+
+  result.iterations_requested = approxmc_iteration_count(options.delta);
+  std::vector<Estimate> estimates;
+  std::uint32_t prev_m = 1;
+
+  for (int iter = 0; iter < result.iterations_requested; ++iter) {
+    if (options.deadline.expired()) {
+      result.timed_out = estimates.empty();
+      break;
+    }
+    // ApproxMC2-style search for the smallest m with a small cell:
+    // lo = largest m known big, hi = smallest m known small.
+    std::uint32_t lo = 0;
+    std::uint32_t hi = n + 1;
+    std::uint64_t hi_count = 0;
+    std::uint32_t m = std::clamp<std::uint32_t>(prev_m, 1, n);
+    bool iteration_failed = false;
+    for (;;) {
+      const ProbeOutcome pr = probe(cnf, sampling_set, m, result.pivot,
+                                    options, rng, result.bsat_calls);
+      if (pr.timed_out) {
+        iteration_failed = true;
+        break;
+      }
+      if (pr.small) {
+        hi = m;
+        hi_count = pr.count;
+      } else {
+        lo = m;
+      }
+      if (hi == lo + 1) break;
+      if (hi == n + 1) {
+        // still galloping upward
+        m = std::min(n, std::max(lo + 1, 2 * m));
+      } else {
+        m = (lo + hi) / 2;
+      }
+      if (m > n) {
+        iteration_failed = true;
+        break;
+      }
+    }
+    if (iteration_failed || hi == n + 1 || hi_count == 0) continue;
+    estimates.push_back(Estimate{hi_count, hi});
+    prev_m = hi;
+    ++result.iterations_succeeded;
+  }
+
+  if (estimates.empty()) {
+    result.timed_out = result.timed_out || options.deadline.expired();
+    return result;
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const Estimate& a, const Estimate& b) {
+              return a.log2_value() < b.log2_value();
+            });
+  const Estimate median = estimates[estimates.size() / 2];
+  result.valid = true;
+  result.cell_count = median.cell_count;
+  result.hash_count = median.hash_count;
+  return result;
+}
+
+}  // namespace unigen

@@ -1,0 +1,74 @@
+#pragma once
+// ApproxMC — hashing-based (ε, δ) approximate model counter
+// (Chakraborty, Meel, Vardi, CP 2013), the subroutine UniGen invokes as
+// ApproxModelCounter(F, 0.8, 0.8) in line 9 of Algorithm 1.
+//
+// Guarantee:  Pr[ |R_F|/(1+ε) <= estimate <= (1+ε)·|R_F| ] >= 1 − δ.
+//
+// Counting is projected onto the formula's sampling set S; when S is an
+// independent support this equals |R_F|, which is how UniGen uses it.
+//
+// Two engineering deviations from the CP 2013 pseudocode, both preserving
+// the guarantee (see DESIGN.md §4):
+//   * the number of median iterations is the smallest odd t whose binomial
+//     failure tail is below δ (with per-iteration success probability
+//     1 − e^{−3/2}), instead of the loose ⌈35·log2(3/δ)⌉;
+//   * the search for the hash count m gallops/binary-searches from the
+//     previous iteration's m (ApproxMC2-style) instead of scanning from 0.
+
+#include <cmath>
+#include <cstdint>
+
+#include "cnf/cnf.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+struct ApproxMcOptions {
+  double epsilon = 0.8;  ///< tolerance (ε > 0)
+  double delta = 0.2;    ///< 1 − confidence
+  /// Deadline for the whole count.
+  Deadline deadline = Deadline::never();
+  /// Optional per-BSAT-call timeout in seconds (0 = none); mirrors the
+  /// paper's 2500 s per-call budget.
+  double bsat_timeout_s = 0.0;
+};
+
+struct ApproxMcResult {
+  bool valid = false;      ///< an estimate was produced
+  bool timed_out = false;  ///< the deadline cut the computation short
+  /// The estimate is cell_count · 2^hash_count.
+  std::uint64_t cell_count = 0;
+  std::uint32_t hash_count = 0;
+  /// True when the formula had few enough models to count exactly
+  /// (hash_count == 0, cell_count == |R_F| projected on S).
+  bool exact = false;
+
+  double value() const {
+    return static_cast<double>(cell_count) *
+           std::pow(2.0, static_cast<double>(hash_count));
+  }
+  double log2_value() const {
+    return std::log2(static_cast<double>(cell_count)) +
+           static_cast<double>(hash_count);
+  }
+
+  // diagnostics
+  std::uint64_t pivot = 0;
+  int iterations_requested = 0;
+  int iterations_succeeded = 0;
+  std::uint64_t bsat_calls = 0;
+};
+
+/// pivot(ε) = 2·⌈3·e^{1/2}·(1 + 1/ε)²⌉  (CP 2013).
+std::uint64_t approxmc_pivot(double epsilon);
+
+/// Smallest odd iteration count t whose median-of-t failure probability is
+/// below δ, assuming each core iteration succeeds with p = 1 − e^{−3/2}.
+int approxmc_iteration_count(double delta);
+
+ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
+                            Rng& rng);
+
+}  // namespace unigen

@@ -1,0 +1,45 @@
+#include "hashing/xor_hash.hpp"
+
+namespace unigen {
+
+XorHash draw_xor_hash(const std::vector<Var>& vars, std::size_t m, Rng& rng) {
+  XorHash hash;
+  hash.rows.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    XorConstraint row;
+    for (const Var v : vars) {
+      if (rng.flip()) row.vars.push_back(v);  // a_{i,k}
+    }
+    const bool a0 = rng.flip();     // a_{i,0}
+    const bool alpha = rng.flip();  // α[i]
+    row.rhs = a0 ^ alpha;
+    hash.rows.push_back(std::move(row));
+  }
+  return hash;
+}
+
+std::uint64_t XorHash::cell_of(const Model& assignment) const {
+  std::uint64_t cell = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    bool parity = false;
+    for (const Var v : rows[i].vars)
+      parity ^= (assignment[static_cast<std::size_t>(v)] == lbool::True);
+    // Row satisfied iff parity == rhs; the cell index collects, per bit,
+    // whether the row's XOR evaluates to its target.
+    if (parity == rows[i].rhs) cell |= (std::uint64_t{1} << i);
+  }
+  return cell;
+}
+
+double XorHash::average_row_length() const {
+  if (rows.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.vars.size();
+  return static_cast<double>(total) / static_cast<double>(rows.size());
+}
+
+void XorHash::conjoin_to(Cnf& cnf) const {
+  for (const auto& row : rows) cnf.add_xor(row);
+}
+
+}  // namespace unigen

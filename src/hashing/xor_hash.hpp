@@ -1,0 +1,54 @@
+#pragma once
+// The 3-independent linear hash family H_xor(n, m, 3) of paper Section 4:
+//
+//   h(y)[i] = a_{i,0} XOR ( XOR_{k=1..n} a_{i,k} · y[k] ),  a_{i,j} ~ U{0,1}
+//
+// A random member is drawn by flipping each coefficient independently, so
+// each output bit is an XOR over ~n/2 of the hashed variables.  Hashing over
+// the sampling set S (instead of the full support X) is the paper's central
+// scalability lever: the expected XOR length drops from |X|/2 to |S|/2.
+//
+// Conjoining `h(y) = α` to a formula is expressed as m XOR constraints over
+// the hashed variables; the random target α is folded into each row's rhs.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "cnf/types.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+/// One drawn hash function h together with a target cell α.
+struct XorHash {
+  /// Row i: XOR of `rows[i].vars` must equal `rows[i].rhs`
+  /// (rhs = α[i] XOR a_{i,0}).
+  std::vector<XorConstraint> rows;
+
+  std::size_t m() const { return rows.size(); }
+
+  /// Applies the hash to an assignment (for tests / analysis): returns the
+  /// m-bit cell index of the assignment.  Cells are labeled so that the
+  /// drawn target cell α is the all-ones index; the labeling is a bijection,
+  /// so partition statistics are unaffected.
+  std::uint64_t cell_of(const Model& assignment) const;
+
+  /// True iff `assignment` falls in the drawn target cell (h(y) = α).
+  bool in_target_cell(const Model& assignment) const {
+    return cell_of(assignment) == (m() >= 64 ? ~std::uint64_t{0}
+                                             : (std::uint64_t{1} << m()) - 1);
+  }
+
+  /// Average number of variables per row.
+  double average_row_length() const;
+
+  /// Adds the constraints h(y) = α to `cnf` as native XOR clauses.
+  void conjoin_to(Cnf& cnf) const;
+};
+
+/// Draws h uniformly from H_xor(|vars|, m, 3) and α uniformly from {0,1}^m
+/// (paper Algorithm 1, lines 14–15, fused since only h(y)=α is ever used).
+XorHash draw_xor_hash(const std::vector<Var>& vars, std::size_t m, Rng& rng);
+
+}  // namespace unigen

@@ -1,0 +1,66 @@
+#include "sat/enumerator.hpp"
+
+namespace unigen {
+
+EnumerateResult enumerate_models(Solver& solver,
+                                 const EnumerateOptions& options) {
+  EnumerateResult result;
+  std::vector<Var> projection = options.projection;
+  if (projection.empty()) {
+    projection.resize(static_cast<std::size_t>(solver.num_vars()));
+    for (Var v = 0; v < solver.num_vars(); ++v)
+      projection[static_cast<std::size_t>(v)] = v;
+  }
+  // Projection-aware branching: decide the sampling set first so that the
+  // dependent variables follow by propagation and parity conflicts stay
+  // shallow.  Skipped when the projection is large (the linear priority
+  // scan would dominate) or trivial.
+  if (projection.size() < static_cast<std::size_t>(solver.num_vars()) &&
+      projection.size() <= 4096)
+    solver.set_priority_vars(projection);
+
+  while (result.count < options.max_models) {
+    if (options.deadline.expired()) {
+      result.timed_out = true;
+      return result;
+    }
+    const lbool status = solver.solve_limited({}, options.deadline, 0);
+    if (status == lbool::Undef) {
+      result.timed_out = true;
+      return result;
+    }
+    if (status == lbool::False) {
+      result.exhausted = true;
+      return result;
+    }
+    const Model& m = solver.model();
+    ++result.count;
+    if (options.store_models) result.models.push_back(m);
+
+    // Block this S-projection: at least one sampling variable must differ.
+    std::vector<Lit> blocking;
+    blocking.reserve(projection.size());
+    for (const Var v : projection) {
+      const lbool val = m[static_cast<std::size_t>(v)];
+      blocking.push_back(Lit(v, val == lbool::True));
+    }
+    if (!solver.add_clause(std::move(blocking))) {
+      result.exhausted = true;  // blocking made the formula UNSAT
+      return result;
+    }
+  }
+  return result;  // hit max_models; space may or may not be exhausted
+}
+
+EnumerateResult bsat(const Cnf& cnf, std::uint64_t max_models,
+                     const Deadline& deadline) {
+  Solver solver;
+  solver.load(cnf);
+  EnumerateOptions options;
+  options.max_models = max_models;
+  options.deadline = deadline;
+  options.projection = cnf.sampling_set_or_all();
+  return enumerate_models(solver, options);
+}
+
+}  // namespace unigen

@@ -1,0 +1,55 @@
+#pragma once
+// BSAT(F, N): bounded model enumeration (paper Section 4).
+//
+// Returns up to N distinct witnesses of the formula loaded into a Solver.
+// Distinctness — and the blocking clauses that enforce it — are over a
+// *projection* set, normally the sampling set S.  Restricting blocking
+// clauses to the independent support is one of the paper's two key
+// implementation optimizations ("blocking clauses can be restricted to only
+// variables in the set S"); since S is an independent support, two witnesses
+// differ iff their S-projections differ, so nothing is lost.
+
+#include <cstdint>
+#include <vector>
+
+#include "cnf/types.hpp"
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+struct EnumerateOptions {
+  /// Stop after this many models (the paper's N; hiThresh in UniGen).
+  std::uint64_t max_models = UINT64_MAX;
+  /// Wall-clock deadline for the whole enumeration (maps to the paper's
+  /// 2500 s per-BSAT timeout).
+  Deadline deadline = Deadline::never();
+  /// Variables over which models are projected and blocked.  Empty means
+  /// all variables of the solver.
+  std::vector<Var> projection;
+  /// Keep the full models; turn off when only the count matters (ApproxMC).
+  bool store_models = true;
+};
+
+struct EnumerateResult {
+  /// Full models found (empty if store_models is false).
+  std::vector<Model> models;
+  /// Number of distinct (projected) models found, == models.size() when
+  /// store_models is true.
+  std::uint64_t count = 0;
+  /// True iff the solution space was exhausted below max_models.
+  bool exhausted = false;
+  /// True iff enumeration stopped because the deadline expired.
+  bool timed_out = false;
+};
+
+/// Destructive: adds blocking clauses to `solver`.  Callers that need the
+/// solver again must reload the formula.
+EnumerateResult enumerate_models(Solver& solver, const EnumerateOptions& options);
+
+/// Convenience wrapper: loads `cnf` into a fresh solver and enumerates over
+/// its sampling set (or all variables when none is declared).
+EnumerateResult bsat(const Cnf& cnf, std::uint64_t max_models,
+                     const Deadline& deadline = Deadline::never());
+
+}  // namespace unigen

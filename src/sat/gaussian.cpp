@@ -1,0 +1,194 @@
+// Level-0 Gaussian elimination over the XOR system (CryptoMiniSAT-style
+// preprocessing).  Run once per solve after the XOR set changes:
+//   * detects inconsistency of the parity system (UNSAT),
+//   * enqueues variables forced to constants by the reduced system,
+//   * re-injects *short* derived rows (length <= gauss_max_row_len) as extra
+//     XOR constraints — cheap redundant parity reasoning the watch scheme
+//     alone would only discover deep inside the search tree.
+
+#include <algorithm>
+#include <set>
+
+#include "sat/solver.hpp"
+#include "util/gf2.hpp"
+
+namespace unigen {
+
+bool Solver::reduce_priority_local_xors() {
+  assert(decision_level() == 0);
+  if (priority_vars_.empty() || xors_.empty()) return true;
+
+  std::vector<char> in_priority(static_cast<std::size_t>(num_vars()), 0);
+  std::vector<std::uint32_t> col_of(static_cast<std::size_t>(num_vars()), 0);
+  for (std::size_t c = 0; c < priority_vars_.size(); ++c) {
+    in_priority[static_cast<std::size_t>(priority_vars_[c])] = 1;
+    col_of[static_cast<std::size_t>(priority_vars_[c])] =
+        static_cast<std::uint32_t>(c);
+  }
+
+  // Partition: rows whose unassigned support lies inside the priority set
+  // go into the local system; everything else is kept as-is.
+  std::vector<XorCls> kept;
+  Gf2System system(priority_vars_.size());
+  std::vector<std::uint32_t> row;
+  bool any_local = false;
+  for (auto& x : xors_) {
+    bool local = true;
+    for (const Var v : x.vars) {
+      if (value(v) == lbool::Undef &&
+          !in_priority[static_cast<std::size_t>(v)]) {
+        local = false;
+        break;
+      }
+    }
+    if (!local) {
+      kept.push_back(std::move(x));
+      continue;
+    }
+    any_local = true;
+    row.clear();
+    bool rhs = x.rhs;
+    for (const Var v : x.vars) {
+      if (value(v) == lbool::Undef)
+        row.push_back(col_of[static_cast<std::size_t>(v)]);
+      else
+        rhs ^= (value(v) == lbool::True);
+    }
+    if (!system.add_constraint(row, rhs)) {
+      ok_ = false;  // 0 = 1; xors_ holds moved-from rows, but ok_ == false
+      return false;  // permanently blocks any further solving
+    }
+  }
+  if (!any_local) {
+    // Every row was moved into `kept` in original order; restore them so
+    // the existing watch lists (which index by position) stay valid.
+    xors_ = std::move(kept);
+    return true;
+  }
+
+  // Reduced basis replaces the local rows; pivots leave the priority set.
+  std::vector<char> is_pivot(priority_vars_.size(), 0);
+  for (const auto& reduced : system.reduced_rows()) {
+    is_pivot[reduced.vars[0]] = 1;  // pivot column first, by contract
+    if (reduced.vars.size() == 1) {
+      if (!enqueue(Lit(priority_vars_[reduced.vars[0]], !reduced.rhs),
+                   Reason{})) {
+        ok_ = false;
+        return false;
+      }
+      ++stats_.gauss_units;
+      continue;
+    }
+    XorCls replacement;
+    replacement.rhs = reduced.rhs;
+    replacement.vars.reserve(reduced.vars.size());
+    for (const auto col : reduced.vars)
+      replacement.vars.push_back(priority_vars_[col]);
+    kept.push_back(std::move(replacement));
+  }
+
+  // Swap in the new XOR set and rebuild the watch lists.  Rows may have
+  // picked up level-0 assignments since they were first attached: restore
+  // the invariant that positions 0 and 1 are unassigned, folding rows with
+  // fewer than two unassigned variables into facts.  Stale xor-id reasons
+  // can only belong to level-0 literals, whose reasons are never
+  // materialized, but clear them anyway.
+  for (auto& ws : xor_watches_) ws.clear();
+  xors_.clear();
+  for (auto& x : kept) {
+    std::size_t unassigned = 0;
+    for (std::size_t k = 0; k < x.vars.size() && unassigned < 2; ++k) {
+      if (value(x.vars[k]) == lbool::Undef)
+        std::swap(x.vars[unassigned++], x.vars[k]);
+    }
+    if (unassigned == 0) {
+      if (xor_parity_from(x, 0) != x.rhs) {
+        ok_ = false;
+        return false;
+      }
+      continue;  // permanently satisfied
+    }
+    if (unassigned == 1) {
+      const bool needed = x.rhs ^ xor_parity_from(x, 1);
+      if (!enqueue(Lit(x.vars[0], !needed), Reason{})) {
+        ok_ = false;
+        return false;
+      }
+      continue;
+    }
+    xors_.push_back(std::move(x));
+    attach_xor(static_cast<std::int32_t>(xors_.size()) - 1);
+  }
+  for (const Lit l : trail_)
+    vardata_[static_cast<std::size_t>(l.var())].reason = Reason{};
+
+  std::vector<Var> free_vars;
+  free_vars.reserve(priority_vars_.size());
+  for (std::size_t c = 0; c < priority_vars_.size(); ++c) {
+    if (!is_pivot[c]) free_vars.push_back(priority_vars_[c]);
+  }
+  priority_vars_ = std::move(free_vars);
+  return propagate() == nullptr;
+}
+
+bool Solver::gauss_preprocess() {
+  assert(decision_level() == 0);
+  if (!reduce_priority_local_xors()) return false;
+  // Compact the variables that occur in XORs into dense column indices.
+  std::vector<Var> columns;
+  for (const auto& x : xors_)
+    for (const Var v : x.vars) columns.push_back(v);
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  if (columns.empty()) return true;
+  std::vector<std::uint32_t> col_of(static_cast<std::size_t>(num_vars()), 0);
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    col_of[static_cast<std::size_t>(columns[c])] = static_cast<std::uint32_t>(c);
+
+  Gf2System system(columns.size());
+  std::vector<std::uint32_t> row;
+  for (const auto& x : xors_) {
+    row.clear();
+    bool rhs = x.rhs;
+    for (const Var v : x.vars) {
+      const lbool val = value(v);
+      if (val == lbool::Undef)
+        row.push_back(col_of[static_cast<std::size_t>(v)]);
+      else
+        rhs ^= (val == lbool::True);
+    }
+    if (!system.add_constraint(row, rhs)) return false;  // 0 = 1
+  }
+  stats_.gauss_rows = system.rank();
+
+  for (const auto& [col, val] : system.implied_units()) {
+    const Var v = columns[col];
+    if (!enqueue(Lit(v, !val), Reason{})) return false;
+    ++stats_.gauss_units;
+  }
+  if (propagate() != nullptr) return false;
+
+  // Re-inject short derived rows not already present.
+  std::set<std::pair<std::vector<Var>, bool>> existing;
+  for (const auto& x : xors_) {
+    auto key = x.vars;
+    std::sort(key.begin(), key.end());
+    existing.emplace(std::move(key), x.rhs);
+  }
+  const bool saved_flag = gauss_done_;
+  for (const auto& reduced : system.reduced_rows()) {
+    if (reduced.vars.size() < 2 ||
+        reduced.vars.size() > options_.gauss_max_row_len)
+      continue;
+    std::vector<Var> vars;
+    vars.reserve(reduced.vars.size());
+    for (const auto col : reduced.vars) vars.push_back(columns[col]);
+    std::sort(vars.begin(), vars.end());
+    if (existing.count({vars, reduced.rhs}) > 0) continue;
+    if (!add_xor(vars, reduced.rhs)) return false;
+  }
+  gauss_done_ = saved_flag;  // add_xor cleared it; the system is already reduced
+  return ok_;
+}
+
+}  // namespace unigen

@@ -1,0 +1,234 @@
+#pragma once
+// CDCL SAT solver with native XOR-clause reasoning.
+//
+// This is the substrate the paper obtains from CryptoMiniSAT [Soos]: a
+// conflict-driven clause-learning solver that additionally handles parity
+// (XOR) constraints natively, so that the hash constraints added by
+// UniGen/ApproxMC do not explode into exponential CNF.
+//
+// Feature set (all from scratch):
+//   * two-watched-literal propagation with blockers,
+//   * first-UIP conflict analysis with recursive clause minimization,
+//   * EVSIDS decision heuristic (indexed binary heap) + phase saving,
+//   * Luby restarts, LBD/activity-based learnt-clause database reduction,
+//   * incremental interface: add clauses/XORs between solve calls,
+//     solve under assumptions,
+//   * native XOR constraints via a two-watched-variable scheme; XOR
+//     propagations/conflicts participate in clause learning through
+//     lazily materialized reason clauses,
+//   * level-0 Gaussian elimination over the XOR system (gaussian.cpp),
+//   * conflict budgets and wall-clock deadlines (returns Undef on limit).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "cnf/types.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t xor_propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t removed_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+  std::uint64_t gauss_units = 0;
+  std::uint64_t gauss_rows = 0;
+};
+
+struct SolverOptions {
+  double var_decay = 0.95;
+  double clause_activity_decay = 0.999;
+  int restart_base = 128;       // conflicts per Luby unit
+  bool phase_saving = true;
+  bool random_initial_phase = false;  // diversify first polarity via rng
+  std::uint64_t reduce_db_first = 4096;  // learnts before first reduction
+  double reduce_db_growth = 1.3;
+  /// Run Gaussian elimination over the XOR system when solve() starts.
+  bool xor_gauss = true;
+  /// Max length of derived XOR rows re-injected by Gaussian elimination.
+  std::size_t gauss_max_row_len = 3;
+};
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // --- problem construction -------------------------------------------
+  Var new_var();
+  Var num_vars() const { return static_cast<Var>(assigns_.size()); }
+
+  /// Returns false if the solver is already in an UNSAT state (the clause
+  /// may then have been discarded).
+  bool add_clause(std::vector<Lit> lits);
+  /// Adds the parity constraint XOR(vars) = rhs.
+  bool add_xor(std::vector<Var> vars, bool rhs);
+  /// Loads an entire formula (variables are created as needed).
+  bool load(const Cnf& cnf);
+
+  // --- solving ----------------------------------------------------------
+  /// Returns True (model available), False (UNSAT under assumptions), or
+  /// Undef (budget exhausted).
+  lbool solve(const std::vector<Lit>& assumptions = {});
+  lbool solve_limited(const std::vector<Lit>& assumptions,
+                      const Deadline& deadline,
+                      std::uint64_t conflict_budget = 0);
+
+  /// Model of the last successful solve() (total assignment).
+  const Model& model() const { return model_; }
+
+  /// False once the clause database is unconditionally unsatisfiable.
+  bool okay() const { return ok_; }
+
+  SolverOptions& options() { return options_; }
+  const SolverStats& stats() const { return stats_; }
+
+  /// Optional RNG for phase/branching diversification; not owned.
+  void set_rng(Rng* rng) { rng_ = rng; }
+
+  /// Prefer these variables for branching (highest activity first) until
+  /// all are assigned; only then fall back to the global VSIDS order.
+  /// With the sampling set S (an independent support) as priority, every
+  /// decision sequence assigns S within |S| levels, after which unit/XOR
+  /// propagation determines the dependent Tseitin variables — this keeps
+  /// parity conflicts shallow and is the projection-aware branching used
+  /// by the CryptoMiniSAT-based UniGen/ApproxMC tool family.
+  void set_priority_vars(const std::vector<Var>& vars) {
+    priority_vars_ = vars;
+  }
+
+  /// Value of a variable in the current (level-0) assignment; used by
+  /// preprocessing consumers.
+  lbool fixed_value(Var v) const;
+
+ private:
+  // --- internal clause representation ---
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    float activity = 0.0f;
+    std::uint32_t lbd = 0;
+  };
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+  struct XorCls {
+    std::vector<Var> vars;  // vars[0], vars[1] are the watched positions
+    bool rhs = false;
+  };
+  /// Reason for an implied literal: exactly one of clause / xor id, or
+  /// neither for decisions and level-0 facts.
+  struct Reason {
+    Clause* clause = nullptr;
+    std::int32_t xor_id = -1;
+    bool is_none() const { return clause == nullptr && xor_id < 0; }
+  };
+  struct VarData {
+    Reason reason;
+    std::int32_t level = 0;
+  };
+
+  // --- core search ---
+  lbool search(const std::vector<Lit>& assumptions, std::uint64_t max_conflicts,
+               const Deadline& deadline, std::uint64_t conflict_budget);
+  bool enqueue(Lit p, Reason from);
+  Clause* propagate();
+  Clause* propagate_xors(Lit p);
+  void analyze(Clause* confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void reduce_db();
+  void attach_clause(Clause* c);
+  void detach_clause(Clause* c);
+  /// Materializes the antecedent literals of `r` for implied literal `p`
+  /// (or the full conflict when p == kUndefLit) into `out`.
+  void reason_literals(const Reason& r, Lit p, std::vector<Lit>& out) const;
+
+  lbool value(Lit p) const {
+    const lbool v = assigns_[static_cast<std::size_t>(p.var())];
+    return p.sign() ? ~v : v;
+  }
+  lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  int level(Var v) const { return vardata_[static_cast<std::size_t>(v)].level; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  bool locked(const Clause* c) const;
+
+  // --- VSIDS ---
+  void var_bump_activity(Var v);
+  void var_decay_activity();
+  void claus_bump_activity(Clause& c);
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  // --- XOR engine (xor_engine.cpp) ---
+  bool attach_xor(std::int32_t id);
+  /// Evaluates parity of assigned vars[from..] of xor `x`.
+  bool xor_parity_from(const XorCls& x, std::size_t from) const;
+  // --- Gaussian elimination (gaussian.cpp) ---
+  bool gauss_preprocess();
+  /// RREF over the XOR rows local to the priority (sampling) set: replaces
+  /// them by a reduced basis and removes the pivot variables from the
+  /// branching priority, so deciding the remaining free variables forces
+  /// every pivot by watch propagation.  This is the step that makes BSAT
+  /// on hash-constrained formulas tractable (CryptoMiniSAT's Gaussian
+  /// elimination plays this role in the paper).
+  bool reduce_priority_local_xors();
+
+  // --- state ---
+  SolverOptions options_;
+  SolverStats stats_;
+  bool ok_ = true;
+  Rng* rng_ = nullptr;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;  // problem clauses
+  std::vector<std::unique_ptr<Clause>> learnts_;
+  std::vector<XorCls> xors_;
+  bool gauss_done_ = false;
+
+  std::vector<std::vector<Watcher>> watches_;      // indexed by Lit::index()
+  std::vector<std::vector<std::int32_t>> xor_watches_;  // indexed by Var
+
+  std::vector<lbool> assigns_;
+  std::vector<VarData> vardata_;
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  float clause_inc_ = 1.0f;
+  std::vector<std::int32_t> heap_pos_;  // var -> heap index, -1 if absent
+  std::vector<Var> heap_;
+  std::vector<char> polarity_;  // saved phase (true = assign negative)
+  std::vector<Var> priority_vars_;
+
+  Model model_;
+  std::uint64_t max_learnts_ = 0;
+
+  // scratch buffers for analyze(); xor_confl_buf_ holds the lazily
+  // materialized conflict clause of a violated XOR constraint.
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+  std::vector<Lit> reason_buf_;
+  Clause xor_confl_buf_;
+};
+
+}  // namespace unigen

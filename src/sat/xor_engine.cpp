@@ -1,0 +1,85 @@
+// Native XOR-constraint propagation for Solver: two-watched-variable scheme.
+//
+// Invariant: every XOR constraint watches the variables at positions 0 and 1
+// of its `vars` array.  When a watched variable is assigned we search for an
+// unassigned replacement among positions >= 2; if none exists the constraint
+// either propagates the other watch, is satisfied, or is violated.  Implied
+// literals carry the XOR id as their reason; conflict analysis materializes
+// the antecedent clause lazily (Solver::reason_literals).
+
+#include <cassert>
+
+#include "sat/solver.hpp"
+
+namespace unigen {
+
+bool Solver::attach_xor(std::int32_t id) {
+  const XorCls& x = xors_[static_cast<std::size_t>(id)];
+  assert(x.vars.size() >= 2);
+  xor_watches_[static_cast<std::size_t>(x.vars[0])].push_back(id);
+  xor_watches_[static_cast<std::size_t>(x.vars[1])].push_back(id);
+  return true;
+}
+
+bool Solver::xor_parity_from(const XorCls& x, std::size_t from) const {
+  bool parity = false;
+  for (std::size_t k = from; k < x.vars.size(); ++k) {
+    assert(value(x.vars[k]) != lbool::Undef);
+    parity ^= (value(x.vars[k]) == lbool::True);
+  }
+  return parity;
+}
+
+Solver::Clause* Solver::propagate_xors(Lit p) {
+  const Var pv = p.var();
+  auto& ws = xor_watches_[static_cast<std::size_t>(pv)];
+  Clause* confl = nullptr;
+  std::size_t i = 0, j = 0;
+  while (i < ws.size()) {
+    const std::int32_t id = ws[i];
+    assert(static_cast<std::size_t>(id) < xors_.size());
+    XorCls& x = xors_[static_cast<std::size_t>(id)];
+    if (x.vars[0] == pv) std::swap(x.vars[0], x.vars[1]);
+    assert(x.vars[1] == pv);
+    ++i;
+
+    // Look for an unassigned replacement watch.
+    bool moved = false;
+    for (std::size_t k = 2; k < x.vars.size(); ++k) {
+      if (value(x.vars[k]) == lbool::Undef) {
+        std::swap(x.vars[1], x.vars[k]);
+        xor_watches_[static_cast<std::size_t>(x.vars[1])].push_back(id);
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
+
+    ws[j++] = id;  // keep watching pv
+    const Var other = x.vars[0];
+    if (value(other) == lbool::Undef) {
+      // Everything but `other` is assigned: force the parity.
+      const bool rest_parity = xor_parity_from(x, 1);
+      const bool needed = x.rhs ^ rest_parity;
+      ++stats_.xor_propagations;
+      const bool enq = enqueue(Lit(other, !needed), Reason{nullptr, id});
+      assert(enq);
+      (void)enq;
+    } else {
+      if (xor_parity_from(x, 0) != x.rhs) {
+        // Violated: materialize the conflict clause of false literals.
+        xor_confl_buf_.lits.clear();
+        for (const Var v : x.vars)
+          xor_confl_buf_.lits.push_back(Lit(v, value(v) == lbool::True));
+        confl = &xor_confl_buf_;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      }
+      // else: satisfied under the full assignment of its variables.
+    }
+  }
+  ws.resize(j);
+  return confl;
+}
+
+}  // namespace unigen

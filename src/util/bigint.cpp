@@ -1,0 +1,159 @@
+#include "util/bigint.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace unigen {
+
+void BigUint::trim() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+BigUint BigUint::pow2(std::size_t k) {
+  BigUint r;
+  r.words_.assign(k / 64 + 1, 0);
+  r.words_.back() = std::uint64_t{1} << (k % 64);
+  return r;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (words_.empty()) return 0;
+  return 64 * (words_.size() - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(words_.back())));
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    const std::uint64_t sum = words_[i] + b;
+    const std::uint64_t carried = sum + carry;
+    carry = (sum < words_[i]) || (carried < sum) ? 1 : 0;
+    words_[i] = carried;
+    if (b == 0 && carry == 0 && i >= other.words_.size()) break;
+  }
+  if (carry != 0) words_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& other) {
+  if (*this < other) throw std::underflow_error("BigUint subtraction underflow");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    const std::uint64_t d1 = words_[i] - b;
+    const std::uint64_t d2 = d1 - borrow;
+    borrow = (d1 > words_[i]) || (d2 > d1) ? 1 : 0;
+    words_[i] = d2;
+  }
+  trim();
+  return *this;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint{};
+  BigUint r;
+  r.words_.assign(words_.size() + other.words_.size(), 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.words_.size(); ++j) {
+      const __uint128_t cur = static_cast<__uint128_t>(words_[i]) * other.words_[j] +
+                              r.words_[i + j] + carry;
+      r.words_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r.words_[i + other.words_.size()] += carry;
+  }
+  r.trim();
+  return r;
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t word_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  const std::size_t old_size = words_.size();
+  words_.resize(old_size + word_shift + 1, 0);
+  for (std::size_t i = old_size; i-- > 0;) {
+    const std::uint64_t w = words_[i];
+    words_[i] = 0;
+    if (bit_shift == 0) {
+      words_[i + word_shift] |= w;
+    } else {
+      words_[i + word_shift + 1] |= w >> (64 - bit_shift);
+      words_[i + word_shift] |= w << bit_shift;
+    }
+  }
+  trim();
+  return *this;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& other) const {
+  if (words_.size() != other.words_.size())
+    return words_.size() <=> other.words_.size();
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) return words_[i] <=> other.words_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+double BigUint::to_double() const {
+  double r = 0.0;
+  for (std::size_t i = words_.size(); i-- > 0;)
+    r = r * 0x1.0p64 + static_cast<double>(words_[i]);
+  return r;
+}
+
+double BigUint::log2() const {
+  if (is_zero()) return -std::numeric_limits<double>::infinity();
+  // Use the top up-to-128 bits for precision, plus the word offset.
+  const std::size_t top = words_.size() - 1;
+  double mantissa = static_cast<double>(words_[top]);
+  if (top > 0) mantissa += static_cast<double>(words_[top - 1]) * 0x1.0p-64;
+  return std::log2(mantissa) + 64.0 * static_cast<double>(top);
+}
+
+std::string BigUint::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^19 (largest power of ten below 2^64).
+  constexpr std::uint64_t kChunk = 10'000'000'000'000'000'000ULL;
+  std::vector<std::uint64_t> scratch = words_;
+  std::string out;
+  while (!scratch.empty()) {
+    __uint128_t rem = 0;
+    for (std::size_t i = scratch.size(); i-- > 0;) {
+      const __uint128_t cur = (rem << 64) | scratch[i];
+      scratch[i] = static_cast<std::uint64_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!scratch.empty() && scratch.back() == 0) scratch.pop_back();
+    std::string part = std::to_string(static_cast<std::uint64_t>(rem));
+    if (!scratch.empty()) part = std::string(19 - part.size(), '0') + part;
+    out = part + out;
+  }
+  return out;
+}
+
+BigUint BigUint::random_below(const BigUint& bound, Rng& rng) {
+  if (bound.is_zero())
+    throw std::invalid_argument("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nwords = (bits + 63) / 64;
+  const std::uint64_t top_mask =
+      (bits % 64 == 0) ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << (bits % 64)) - 1);
+  // Rejection sampling over [0, 2^bits); expected < 2 draws.
+  for (;;) {
+    BigUint candidate;
+    candidate.words_.resize(nwords);
+    for (auto& w : candidate.words_) w = rng();
+    candidate.words_.back() &= top_mask;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+}  // namespace unigen

@@ -1,0 +1,71 @@
+#pragma once
+// Arbitrary-precision unsigned integers for exact model counts.
+//
+// A formula over n variables can have up to 2^n models, far beyond any
+// machine word, so the exact counter (DPLL# in counting/exact_counter.*)
+// returns BigUint.  Only the operations counting needs are provided:
+// addition, multiplication, shifts (2^k factors for free variables),
+// comparison, and conversion/printing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace unigen {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t value) {  // NOLINT(google-explicit-constructor)
+    if (value != 0) words_.push_back(value);
+  }
+
+  /// 2^k.
+  static BigUint pow2(std::size_t k);
+
+  bool is_zero() const { return words_.empty(); }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint operator+(const BigUint& other) const {
+    BigUint r = *this;
+    r += other;
+    return r;
+  }
+  BigUint operator*(const BigUint& other) const;
+  BigUint& operator<<=(std::size_t bits);
+  BigUint operator<<(std::size_t bits) const {
+    BigUint r = *this;
+    r <<= bits;
+    return r;
+  }
+
+  /// Subtraction; precondition: *this >= other.
+  BigUint& operator-=(const BigUint& other);
+
+  std::strong_ordering operator<=>(const BigUint& other) const;
+  bool operator==(const BigUint& other) const = default;
+
+  /// Lossy conversion (infinity if > DBL_MAX).
+  double to_double() const;
+  /// log2; -inf for zero.
+  double log2() const;
+  /// Exact value if it fits in 64 bits, otherwise nullopt-like flag.
+  bool fits_uint64() const { return words_.size() <= 1; }
+  std::uint64_t to_uint64() const { return words_.empty() ? 0 : words_[0]; }
+
+  std::string to_string() const;  // decimal
+
+  /// Uniform random integer in [0, *this).  Precondition: not zero.
+  static BigUint random_below(const BigUint& bound, Rng& rng);
+
+ private:
+  void trim();
+  // little-endian 64-bit words; canonical form has no trailing zero word.
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace unigen

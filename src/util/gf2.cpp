@@ -1,0 +1,84 @@
+#include "util/gf2.hpp"
+
+#include <bit>
+
+namespace unigen {
+
+void Gf2Vector::xor_with(const Gf2Vector& other) {
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+std::size_t Gf2Vector::first_set() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0)
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return npos;
+}
+
+std::size_t Gf2Vector::count() const {
+  std::size_t c = 0;
+  for (const auto word : words_) c += static_cast<std::size_t>(std::popcount(word));
+  return c;
+}
+
+bool Gf2Vector::any() const {
+  for (const auto word : words_)
+    if (word != 0) return true;
+  return false;
+}
+
+bool Gf2System::add_constraint(const std::vector<std::uint32_t>& vars,
+                               bool rhs) {
+  if (!consistent_) return false;
+  StoredRow row{Gf2Vector(num_vars_), rhs, Gf2Vector::npos};
+  for (const auto v : vars) row.coeffs.flip(v);  // flip: duplicated vars cancel
+  // Eliminate against existing pivots.
+  for (const auto& existing : rows_) {
+    if (row.coeffs.get(existing.pivot)) {
+      row.coeffs.xor_with(existing.coeffs);
+      row.rhs ^= existing.rhs;
+    }
+  }
+  row.pivot = row.coeffs.first_set();
+  if (row.pivot == Gf2Vector::npos) {
+    if (row.rhs) consistent_ = false;  // 0 = 1
+    return consistent_;
+  }
+  // Back-substitute into existing rows so the system stays fully reduced.
+  for (auto& existing : rows_) {
+    if (existing.coeffs.get(row.pivot)) {
+      existing.coeffs.xor_with(row.coeffs);
+      existing.rhs ^= row.rhs;
+    }
+  }
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+std::vector<std::pair<std::uint32_t, bool>> Gf2System::implied_units() const {
+  std::vector<std::pair<std::uint32_t, bool>> units;
+  for (const auto& row : rows_) {
+    if (row.coeffs.count() == 1)
+      units.emplace_back(static_cast<std::uint32_t>(row.pivot), row.rhs);
+  }
+  return units;
+}
+
+std::vector<Gf2System::Row> Gf2System::reduced_rows() const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& stored : rows_) {
+    Row row;
+    row.rhs = stored.rhs;
+    row.vars.push_back(static_cast<std::uint32_t>(stored.pivot));
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+      if (v != stored.pivot && stored.coeffs.get(v))
+        row.vars.push_back(static_cast<std::uint32_t>(v));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace unigen

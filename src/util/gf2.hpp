@@ -1,0 +1,88 @@
+#pragma once
+// Dense GF(2) linear algebra used by the XOR preprocessing (Gaussian
+// elimination over parity constraints) and by tests of the hash family's
+// algebraic properties.
+
+#include <cstdint>
+#include <vector>
+
+namespace unigen {
+
+/// A dense bit-vector over GF(2) with word-parallel XOR.
+class Gf2Vector {
+ public:
+  Gf2Vector() = default;
+  explicit Gf2Vector(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+  std::size_t size() const { return bits_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+  void flip(std::size_t i) { words_[i >> 6] ^= std::uint64_t{1} << (i & 63); }
+
+  /// this ^= other.  Both vectors must have the same size.
+  void xor_with(const Gf2Vector& other);
+
+  /// Index of the lowest set bit, or npos if the vector is zero.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first_set() const;
+  std::size_t count() const;
+  bool any() const;
+
+  bool operator==(const Gf2Vector& other) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Row-reduced system of parity constraints  A·x = b  over GF(2).
+/// Rows carry their right-hand side as an extra logical column.
+class Gf2System {
+ public:
+  explicit Gf2System(std::size_t num_vars) : num_vars_(num_vars) {}
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Adds the constraint  XOR_{v in vars} x_v = rhs  and eliminates it
+  /// against the existing rows.  Returns false iff the system became
+  /// inconsistent (0 = 1).
+  bool add_constraint(const std::vector<std::uint32_t>& vars, bool rhs);
+
+  /// After elimination: variables that are forced to a constant by a
+  /// singleton row.  Each entry is (var, value).
+  std::vector<std::pair<std::uint32_t, bool>> implied_units() const;
+
+  /// Rank of the coefficient matrix (number of independent constraints).
+  std::size_t rank() const { return rows_.size(); }
+
+  bool consistent() const { return consistent_; }
+
+  /// Row access for re-export of the reduced system (pivot var first).
+  struct Row {
+    std::vector<std::uint32_t> vars;
+    bool rhs;
+  };
+  std::vector<Row> reduced_rows() const;
+
+ private:
+  struct StoredRow {
+    Gf2Vector coeffs;
+    bool rhs;
+    std::size_t pivot;
+  };
+  std::size_t num_vars_;
+  std::vector<StoredRow> rows_;  // each with a unique pivot column
+  bool consistent_ = true;
+};
+
+}  // namespace unigen

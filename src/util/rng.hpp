@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generator used throughout the
+// library.
+//
+// The paper's implementation uses C++ `std::random_device` as its randomness
+// source (Section 4, "Implementation issues").  For a library that must be
+// testable and whose experiments must be repeatable, we instead route all
+// randomness through one seedable engine (xoshiro256**, Blackman & Vigna).
+// Seeding from std::random_device reproduces the paper's behaviour; seeding
+// from a fixed value makes every experiment in this repository replayable.
+
+#include <cstdint>
+#include <vector>
+
+namespace unigen {
+
+/// xoshiro256** engine.  Satisfies std::uniform_random_bit_generator so it
+/// can be plugged into <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from std::random_device (non-deterministic, as in the paper).
+  Rng();
+  /// Seeds deterministically via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed);
+
+  void seed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Fair coin.
+  bool flip();
+
+  /// Bernoulli(p).  Precondition: 0 <= p <= 1.
+  bool flip(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent child generator (for per-thread / per-run streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unigen

@@ -1,0 +1,64 @@
+#pragma once
+// Circuit-with-parity benchmark family — the stand-in for the paper's
+// ISCAS89-derived instances ("constraints arising from ISCAS89 circuits
+// with parity conditions on randomly chosen subsets of outputs and
+// next-state variables") and its `case*` instances.  See DESIGN.md §3 for
+// the substitution argument.
+//
+// Two generators:
+//   * make_circuit_parity_bench — a nonlinear sequential-circuit step
+//     (adder/majority/XOR mixing rounds over state and primary inputs) with
+//     random parity conditions on the outputs.  Independent support =
+//     {state, inputs}; the Tseitin core is the dependent support.
+//   * make_affine_parity_bench — XOR/rotation-only (GF(2)-affine) mixing;
+//     the generator computes the induced linear system symbolically, so the
+//     exact witness count 2^(inputs − rank) is known by construction.  Used
+//     for the Figure-1 instance (case110 substitute with |R_F| = 2^14) and
+//     for counting tests.
+
+#include <cstdint>
+#include <string>
+
+#include "cnf/cnf.hpp"
+#include "util/bigint.hpp"
+
+namespace unigen::workloads {
+
+struct CircuitParityOptions {
+  std::size_t state_bits = 16;
+  std::size_t input_bits = 8;
+  std::size_t rounds = 2;             ///< mixing depth (grows |X|)
+  std::size_t parity_constraints = 5; ///< conditions on outputs
+  std::uint64_t seed = 1;
+};
+
+/// Satisfiable by construction: the parity targets are read off a random
+/// reference simulation.
+Cnf make_circuit_parity_bench(const CircuitParityOptions& options,
+                              const std::string& name);
+
+struct AffineParityOptions {
+  std::size_t input_bits = 32;
+  std::size_t rounds = 2;
+  std::size_t parity_constraints = 18;
+  std::uint64_t seed = 1;
+};
+
+struct AffineParityBench {
+  Cnf cnf;
+  /// Exact witness count: 2^(input_bits − rank of the parity system).
+  BigUint witness_count;
+  std::size_t rank = 0;
+};
+
+AffineParityBench make_affine_parity_bench(const AffineParityOptions& options,
+                                           const std::string& name);
+
+/// The Figure-1 instance: an affine bench searched over seeds until the
+/// parity system has full rank, giving exactly 2^(input_bits −
+/// parity_constraints) witnesses (16384 with the defaults, matching the
+/// paper's case110).
+AffineParityBench make_case110_like(std::size_t input_bits = 32,
+                                    std::size_t parity_constraints = 18);
+
+}  // namespace unigen::workloads

@@ -1,0 +1,120 @@
+#include "workloads/sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cnf/circuit.hpp"
+#include "cnf/tseitin.hpp"
+#include "util/rng.hpp"
+
+namespace unigen::workloads {
+namespace {
+
+using Sig = Circuit::Sig;
+
+/// popcount(bits) as a little-endian word, via carry-save full-adder
+/// reduction by weight column — the standard bit-count datapath.
+std::vector<Sig> popcount_word(Circuit& c, std::vector<Sig> bits) {
+  if (bits.empty()) return {Circuit::kFalse};
+  std::vector<std::vector<Sig>> columns;
+  columns.push_back(std::move(bits));
+  std::vector<Sig> result;
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    // Note: carry_to may reallocate `columns`; always index, never hold a
+    // reference across it.
+    auto carry_to = [&](Sig s) {
+      if (columns.size() == w + 1) columns.emplace_back();
+      columns[w + 1].push_back(s);
+    };
+    while (columns[w].size() >= 3) {
+      const Sig a = columns[w][columns[w].size() - 1];
+      const Sig b = columns[w][columns[w].size() - 2];
+      const Sig d = columns[w][columns[w].size() - 3];
+      columns[w].resize(columns[w].size() - 3);
+      columns[w].push_back(c.lxor(c.lxor(a, b), d));  // sum at this weight
+      carry_to(c.maj3(a, b, d));
+    }
+    if (columns[w].size() == 2) {
+      const Sig a = columns[w][0], b = columns[w][1];
+      columns[w].clear();
+      columns[w].push_back(c.lxor(a, b));
+      carry_to(c.land(a, b));
+    }
+    result.push_back(columns[w].empty() ? Circuit::kFalse : columns[w][0]);
+  }
+  return result;
+}
+
+}  // namespace
+
+SketchBench make_sketch_bench(const SketchOptions& options,
+                              const std::string& name) {
+  if (options.spec_input_bits > 16)
+    throw std::invalid_argument("sketch: spec_input_bits > 16 is impractical");
+  if (options.mode_bits > 63 || options.threshold == 0 ||
+      options.threshold > (std::uint64_t{1} << options.mode_bits))
+    throw std::invalid_argument("sketch: bad mode/threshold combination");
+
+  Rng rng(options.seed);
+  Circuit c;
+  const auto selector = c.input_word(options.selector_bits, "c");
+  const auto mode = c.input_word(options.mode_bits, "d");
+
+  // Hidden spec subset T.
+  std::vector<bool> spec_subset(options.selector_bits);
+  for (std::size_t i = 0; i < options.selector_bits; ++i)
+    spec_subset[i] = rng.flip();
+
+  // One interpreter instantiation per spec input vector.  Spec inputs wider
+  // than the selector word wrap around (every selector bit is still pinned
+  // because all unit vectors occur among the instantiations).
+  //
+  // Each instantiation routes the selected bits through a popcount datapath
+  // and then adds a per-instance nonce constant through a ripple-carry
+  // chain.  Since lsb(popcount(v) + nonce) = parity(v) XOR (nonce & 1), the
+  // asserted low bit pins exactly the parity — but the carry chain is a
+  // structurally distinct circuit per instantiation, mirroring real sketch
+  // encodings, which instantiate the interpreter separately per input with
+  // no cross-instance sharing (structural hashing would otherwise collapse
+  // the copies and shrink |X| unrealistically).
+  const std::uint64_t instances = std::uint64_t{1} << options.spec_input_bits;
+  Rng nonce_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::size_t count_width = 1;
+  while ((std::size_t{1} << count_width) <= options.selector_bits)
+    ++count_width;
+  const std::size_t acc_width = count_width + 3;
+  for (std::uint64_t input = 0; input < instances; ++input) {
+    std::vector<Sig> selected;
+    bool spec_value = false;
+    for (std::size_t i = 0; i < options.selector_bits; ++i) {
+      const bool input_bit = (input >> (i % options.spec_input_bits)) & 1u;
+      if (input_bit) selected.push_back(selector[i]);
+      spec_value ^= (spec_subset[i] && input_bit);
+    }
+    std::vector<Sig> count = popcount_word(c, std::move(selected));
+    count.resize(acc_width, Circuit::kFalse);
+    const std::uint64_t nonce =
+        nonce_rng.below(std::uint64_t{1} << (acc_width - 1));
+    const auto sum =
+        c.add_word(count, c.constant_word(nonce, acc_width));
+    spec_value ^= (nonce & 1u) != 0;
+    c.add_output(spec_value ? sum[0] : Circuit::lnot(sum[0]));
+  }
+
+  // Don't-care mode word, lightly constrained: d < threshold.
+  const auto bound = c.constant_word(options.threshold, options.mode_bits);
+  c.add_output(c.ult_word(mode, bound));
+
+  SketchBench bench;
+  auto enc = tseitin_encode(c);
+  enc.cnf.name = name;
+  bench.cnf = std::move(enc.cnf);
+  // Valid selectors: one XOR equation per residue class of selector bits.
+  const std::size_t classes =
+      std::min(options.spec_input_bits, options.selector_bits);
+  bench.witness_count =
+      BigUint(options.threshold) << (options.selector_bits - classes);
+  return bench;
+}
+
+}  // namespace unigen::workloads

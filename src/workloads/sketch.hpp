@@ -1,0 +1,53 @@
+#pragma once
+// Program-synthesis benchmark family — the stand-in for the paper's
+// sketch-derived instances (EnqueueSeqSK, LoginService2, Sort, Karatsuba,
+// ProcessBean, tutorial3).  Those instances share one structural signature:
+// a *huge* Tseitin support (up to 486k variables: the program interpreter
+// unrolled over every spec input) with a *tiny* independent support (tens
+// of control bits).  See DESIGN.md §3.
+//
+// Construction: synthesize the selector word c of a parity function.
+//   * spec: a hidden random subset T of the k spec inputs;
+//     spec(input) = XOR_{i∈T} input_i.
+//   * program: prog(input; c) = lsb(popcount(c & input)) — semantically the
+//     same parity, but computed through a full adder network, so each of
+//     the 2^k spec instantiations contributes a large nonlinear circuit.
+//   * check: ∧_{input ∈ {0,1}^k} prog(input; c) = spec(input).  Spec inputs
+//     drive selector bits by residue class mod k, so the check pins the
+//     XOR of (c_i ⊕ T_i) per class: #valid selectors =
+//     2^(selector_bits − min(k, selector_bits)).
+//   * mode word d (don't-care controls): constrained by d < threshold.
+// Witness count is therefore known by construction:
+//     threshold · 2^(selector_bits − min(spec_input_bits, selector_bits)).
+// Sampling set = {c, d}; everything else is the dependent Tseitin core.
+
+#include <cstdint>
+#include <string>
+
+#include "cnf/cnf.hpp"
+#include "util/bigint.hpp"
+
+namespace unigen::workloads {
+
+struct SketchOptions {
+  /// Spec checked over all 2^spec_input_bits input vectors.
+  std::size_t spec_input_bits = 6;
+  /// Selector word width (|c|).
+  std::size_t selector_bits = 12;
+  /// Don't-care mode word width (|d|).
+  std::size_t mode_bits = 16;
+  /// Constraint d < threshold; must satisfy 0 < threshold <= 2^mode_bits.
+  std::uint64_t threshold = 40000;
+  std::uint64_t seed = 1;
+};
+
+struct SketchBench {
+  Cnf cnf;
+  /// threshold · 2^(selector_bits − min(spec_input_bits, selector_bits)).
+  BigUint witness_count;
+};
+
+SketchBench make_sketch_bench(const SketchOptions& options,
+                              const std::string& name);
+
+}  // namespace unigen::workloads

@@ -1,0 +1,44 @@
+#include "workloads/squaring.hpp"
+
+#include <stdexcept>
+
+#include "cnf/circuit.hpp"
+#include "cnf/tseitin.hpp"
+#include "util/rng.hpp"
+
+namespace unigen::workloads {
+
+Cnf make_squaring_bench(const SquaringOptions& options,
+                        const std::string& name) {
+  if (options.constrained_bits > options.product_bits)
+    throw std::invalid_argument("squaring: more constraints than product bits");
+  Rng rng(options.seed);
+  Circuit c;
+  const auto x = c.input_word(options.operand_bits, "x");
+  const auto y = c.input_word(options.operand_bits, "y");
+  const auto product = c.mul_word(x, y, options.product_bits);
+
+  // Reference operands fix satisfiable output-bit targets.
+  std::vector<bool> ref_inputs;
+  for (std::size_t i = 0; i < 2 * options.operand_bits; ++i)
+    ref_inputs.push_back(rng.flip());
+  Circuit probe = c;
+  for (const auto s : product) probe.add_output(s);
+  const auto ref_product = probe.simulate(ref_inputs);
+
+  // Pin a random subset of product bits to the reference value.
+  std::vector<std::size_t> positions(options.product_bits);
+  for (std::size_t i = 0; i < options.product_bits; ++i) positions[i] = i;
+  rng.shuffle(positions);
+  for (std::size_t k = 0; k < options.constrained_bits; ++k) {
+    const std::size_t bit = positions[k];
+    c.add_output(ref_product[bit] ? product[bit]
+                                  : Circuit::lnot(product[bit]));
+  }
+
+  auto enc = tseitin_encode(c);
+  enc.cnf.name = name;
+  return std::move(enc.cnf);
+}
+
+}  // namespace unigen::workloads

@@ -1,0 +1,32 @@
+#pragma once
+// Bit-blasted arithmetic benchmark family — the stand-in for the paper's
+// Squaring1–Squaring16 instances (bit-blasted equivalence/range constraints
+// over multiplier networks, |S| = 72 in the paper).  See DESIGN.md §3.
+//
+// The instance constrains selected output bits of a bit-blasted product
+// x·y to the values obtained from a hidden reference pair, so the formula
+// is satisfiable by construction while the solution set is the (large,
+// irregular) preimage of those output bits.
+
+#include <cstdint>
+#include <string>
+
+#include "cnf/cnf.hpp"
+
+namespace unigen::workloads {
+
+struct SquaringOptions {
+  /// Bits per operand; the sampling set has 2x this (x and y), so the
+  /// paper's |S| = 72 corresponds to operand_bits = 36.
+  std::size_t operand_bits = 36;
+  /// Width of the computed (truncated) product.
+  std::size_t product_bits = 40;
+  /// Number of product bits pinned to the reference value.
+  std::size_t constrained_bits = 10;
+  std::uint64_t seed = 1;
+};
+
+Cnf make_squaring_bench(const SquaringOptions& options,
+                        const std::string& name);
+
+}  // namespace unigen::workloads

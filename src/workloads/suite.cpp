@@ -1,0 +1,165 @@
+#include "workloads/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "workloads/circuits.hpp"
+#include "workloads/sketch.hpp"
+#include "workloads/squaring.hpp"
+
+namespace unigen::workloads {
+namespace {
+
+/// Shrinks a sketch's spec width by log4-ish steps as scale decreases;
+/// each step halves the instantiation count and thus |X|.
+std::size_t scaled_spec_bits(std::size_t base, double scale) {
+  if (scale >= 1.0) return base;
+  const auto shrink = static_cast<std::size_t>(std::round(std::log2(1.0 / scale)));
+  return std::max<std::size_t>(4, base > shrink ? base - shrink : 4);
+}
+
+SuiteInstance squaring_row(const std::string& name, const std::string& ref,
+                           std::uint64_t seed, std::size_t constrained,
+                           double scale) {
+  SquaringOptions opts;
+  // |S| = 72 (paper fidelity) from scale 0.5 upward; a smaller multiplier
+  // below that so time-boxed default runs stay fast.
+  opts.operand_bits = scale >= 0.5 ? 36 : 24;
+  opts.product_bits = scale >= 0.5 ? 40 : 28;
+  opts.constrained_bits = std::min(constrained, opts.product_bits / 3);
+  opts.seed = seed;
+  SuiteInstance row;
+  row.name = name;
+  row.family = "squaring";
+  row.paper_ref = ref;
+  row.cnf = make_squaring_bench(opts, name);
+  return row;
+}
+
+SuiteInstance circuit_row(const std::string& name, const std::string& ref,
+                          std::size_t state_bits, std::size_t input_bits,
+                          std::size_t rounds, std::size_t parity,
+                          std::uint64_t seed) {
+  CircuitParityOptions opts;
+  opts.state_bits = state_bits;
+  opts.input_bits = input_bits;
+  opts.rounds = rounds;
+  opts.parity_constraints = parity;
+  opts.seed = seed;
+  SuiteInstance row;
+  row.name = name;
+  row.family = "circuit";
+  row.paper_ref = ref;
+  row.cnf = make_circuit_parity_bench(opts, name);
+  return row;
+}
+
+SuiteInstance sketch_row(const std::string& name, const std::string& ref,
+                         std::size_t spec_bits, std::size_t selector_bits,
+                         std::size_t mode_bits, std::uint64_t threshold,
+                         std::uint64_t seed, double scale) {
+  SketchOptions opts;
+  opts.spec_input_bits = scaled_spec_bits(spec_bits, scale);
+  opts.selector_bits = selector_bits;
+  opts.mode_bits = mode_bits;
+  opts.threshold = threshold;
+  opts.seed = seed;
+  SuiteInstance row;
+  row.name = name;
+  row.family = "sketch";
+  row.paper_ref = ref;
+  SketchBench bench = make_sketch_bench(opts, name);
+  row.cnf = std::move(bench.cnf);
+  row.known_count = std::move(bench.witness_count);
+  return row;
+}
+
+}  // namespace
+
+std::vector<SuiteInstance> make_table1_suite(double scale) {
+  std::vector<SuiteInstance> suite;
+  // Paper Table 1, in row order: |X| / |S| of the original in paper_ref.
+  suite.push_back(squaring_row("Squaring7_like", "Squaring7 (1628/72)", 7, 10, scale));
+  suite.push_back(squaring_row("squaring8_like", "squaring8 (1101/72)", 8, 9, scale));
+  suite.push_back(squaring_row("Squaring10_like", "Squaring10 (1099/72)", 10, 9, scale));
+  suite.push_back(circuit_row("s1196a_7_4_like", "s1196a_7_4 (708/32)",
+                              24, 8, 3, 6, 1196));
+  suite.push_back(circuit_row("s1238a_7_4_like", "s1238a_7_4 (704/32)",
+                              24, 8, 3, 7, 1238));
+  suite.push_back(circuit_row("s953a_3_2_like", "s953a_3_2 (515/45)",
+                              32, 13, 2, 6, 953));
+  suite.push_back(sketch_row("EnqueueSeqSK_like", "EnqueueSeqSK (16466/42)",
+                             7, 26, 16, 40000, 21, scale));
+  suite.push_back(sketch_row("LoginService2_like", "LoginService2 (11511/36)",
+                             6, 20, 16, 50000, 22, scale));
+  suite.push_back(sketch_row("LLReverse_like", "LLReverse (63797/25)",
+                             9, 15, 10, 700, 23, scale));
+  suite.push_back(sketch_row("Sort_like", "Sort (12125/52)",
+                             6, 36, 16, 60000, 24, scale));
+  suite.push_back(sketch_row("Karatsuba_like", "Karatsuba (19594/41)",
+                             8, 25, 16, 30000, 25, scale));
+  suite.push_back(sketch_row("tutorial3_like", "tutorial3 (486193/31)",
+                             13, 21, 10, 800, 26, scale));
+  return suite;
+}
+
+std::vector<SuiteInstance> make_table2_suite(double scale) {
+  std::vector<SuiteInstance> suite;
+  // case* family (small circuit instances).
+  suite.push_back(circuit_row("Case121_like", "Case121 (291/48)", 36, 12, 1, 5, 121));
+  suite.push_back(circuit_row("Case1_b11_like", "Case1_b11_1 (340/48)", 36, 12, 1, 6, 111));
+  suite.push_back(circuit_row("Case2_b12_like", "Case2_b12_2 (827/45)", 33, 12, 2, 6, 122));
+  suite.push_back(circuit_row("Case35_like", "Case35 (400/46)", 34, 12, 1, 7, 35));
+  // Squaring family.
+  suite.push_back(squaring_row("Squaring1_like", "Squaring1 (891/72)", 1, 8, scale));
+  suite.push_back(squaring_row("squaring8_like", "squaring8 (1101/72)", 8, 9, scale));
+  suite.push_back(squaring_row("Squaring10_like", "Squaring10 (1099/72)", 10, 9, scale));
+  suite.push_back(squaring_row("Squaring7_like", "Squaring7 (1628/72)", 7, 10, scale));
+  suite.push_back(squaring_row("Squaring9_like", "Squaring9 (1434/72)", 9, 10, scale));
+  suite.push_back(squaring_row("Squaring14_like", "Squaring14 (1458/72)", 14, 11, scale));
+  suite.push_back(squaring_row("Squaring12_like", "Squaring12 (1507/72)", 12, 11, scale));
+  suite.push_back(squaring_row("Squaring16_like", "Squaring16 (1627/72)", 16, 12, scale));
+  // s526 family (|S| = 24).
+  suite.push_back(circuit_row("s526_3_2_like", "s526_3_2 (365/24)", 18, 6, 2, 5, 526));
+  suite.push_back(circuit_row("s526a_3_2_like", "s526a_3_2 (366/24)", 18, 6, 2, 5, 527));
+  suite.push_back(circuit_row("s526_15_7_like", "s526_15_7 (452/24)", 18, 6, 3, 7, 528));
+  // s1196/s1238 family (|S| = 32).
+  suite.push_back(circuit_row("s1196a_7_4_like", "s1196a_7_4 (708/32)", 24, 8, 3, 6, 1196));
+  suite.push_back(circuit_row("s1196a_3_2_like", "s1196a_3_2 (690/32)", 24, 8, 3, 5, 1197));
+  suite.push_back(circuit_row("s1238a_7_4_like", "s1238a_7_4 (704/32)", 24, 8, 3, 7, 1238));
+  suite.push_back(circuit_row("s1238a_15_7_like", "s1238a_15_7 (773/32)", 24, 8, 4, 8, 1239));
+  suite.push_back(circuit_row("s1196a_15_7_like", "s1196a_15_7 (777/32)", 24, 8, 4, 7, 1198));
+  suite.push_back(circuit_row("s1238a_3_2_like", "s1238a_3_2 (686/32)", 24, 8, 3, 5, 1240));
+  suite.push_back(circuit_row("s953a_3_2_like", "s953a_3_2 (515/45)", 32, 13, 2, 6, 953));
+  // Program-synthesis family.
+  suite.push_back(sketch_row("TreeMax_like", "TreeMax (24859/19)",
+                             10, 11, 8, 150, 27, scale));
+  suite.push_back(sketch_row("LLReverse_like", "LLReverse (63797/25)",
+                             9, 15, 10, 700, 23, scale));
+  suite.push_back(sketch_row("LoginService2_like", "LoginService2 (11511/36)",
+                             6, 20, 16, 50000, 22, scale));
+  suite.push_back(sketch_row("EnqueueSeqSK_like", "EnqueueSeqSK (16466/42)",
+                             7, 26, 16, 40000, 21, scale));
+  suite.push_back(sketch_row("ProjectService3_like", "ProjectService3 (3175/55)",
+                             5, 39, 16, 20000, 28, scale));
+  suite.push_back(sketch_row("Sort_like", "Sort (12125/52)",
+                             6, 36, 16, 60000, 24, scale));
+  suite.push_back(sketch_row("Karatsuba_like", "Karatsuba (19594/41)",
+                             8, 25, 16, 30000, 25, scale));
+  suite.push_back(sketch_row("ProcessBean_like", "ProcessBean (4768/64)",
+                             5, 48, 16, 25000, 29, scale));
+  suite.push_back(sketch_row("tutorial3_like", "tutorial3 (486193/31)",
+                             13, 21, 10, 800, 26, scale));
+  return suite;
+}
+
+double bench_scale_from_env(double fallback) {
+  const char* raw = std::getenv("UNIGEN_BENCH_SCALE");
+  if (raw == nullptr) return fallback;
+  const double parsed = std::atof(raw);
+  if (parsed <= 0.0) return fallback;
+  return std::min(parsed, 1.0);
+}
+
+}  // namespace unigen::workloads

@@ -1,0 +1,79 @@
+#pragma once
+// Shared test helpers: brute-force reference semantics for small formulas
+// and random formula generators for fuzz/property tests.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "cnf/types.hpp"
+#include "util/rng.hpp"
+
+namespace unigen::test {
+
+/// All satisfying total assignments of `cnf`, by exhaustive enumeration.
+/// Only usable for num_vars() <= ~22.
+inline std::vector<Model> brute_force_models(const Cnf& cnf) {
+  const Var n = cnf.num_vars();
+  std::vector<Model> models;
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    Model m(static_cast<std::size_t>(n));
+    for (Var v = 0; v < n; ++v)
+      m[static_cast<std::size_t>(v)] =
+          ((bits >> v) & 1u) ? lbool::True : lbool::False;
+    if (cnf.satisfied_by(m)) models.push_back(std::move(m));
+  }
+  return models;
+}
+
+inline std::uint64_t brute_force_count(const Cnf& cnf) {
+  return brute_force_models(cnf).size();
+}
+
+/// Distinct projections of the brute-force models onto `vars`.
+inline std::uint64_t brute_force_projected_count(const Cnf& cnf,
+                                                 const std::vector<Var>& vars) {
+  std::vector<std::uint64_t> keys;
+  for (const Model& m : brute_force_models(cnf)) {
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (m[static_cast<std::size_t>(vars[i])] == lbool::True)
+        key |= std::uint64_t{1} << i;
+    }
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return static_cast<std::uint64_t>(
+      std::unique(keys.begin(), keys.end()) - keys.begin());
+}
+
+/// Random k-CNF over n variables with c clauses.
+inline Cnf random_cnf(Var n, std::size_t c, std::size_t k, Rng& rng) {
+  Cnf cnf(n);
+  for (std::size_t i = 0; i < c; ++i) {
+    std::vector<Lit> clause;
+    for (std::size_t j = 0; j < k; ++j)
+      clause.emplace_back(static_cast<Var>(rng.below(static_cast<std::uint64_t>(n))),
+                          rng.flip());
+    cnf.add_clause(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Random CNF+XOR formula: c clauses of width k plus x XOR constraints of
+/// average width n/2.
+inline Cnf random_cnf_xor(Var n, std::size_t c, std::size_t k, std::size_t x,
+                          Rng& rng) {
+  Cnf cnf = random_cnf(n, c, k, rng);
+  for (std::size_t i = 0; i < x; ++i) {
+    std::vector<Var> vars;
+    for (Var v = 0; v < n; ++v)
+      if (rng.flip()) vars.push_back(v);
+    if (vars.empty()) vars.push_back(static_cast<Var>(rng.below(static_cast<std::uint64_t>(n))));
+    cnf.add_xor(std::move(vars), rng.flip());
+  }
+  return cnf;
+}
+
+}  // namespace unigen::test

@@ -1,0 +1,153 @@
+// Tests for BigUint against 64-bit and 128-bit reference arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(BigUint, ZeroBasics) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_uint64(), 0u);
+  EXPECT_EQ(z.to_double(), 0.0);
+}
+
+TEST(BigUint, SmallValues) {
+  BigUint x(12345);
+  EXPECT_FALSE(x.is_zero());
+  EXPECT_EQ(x.to_string(), "12345");
+  EXPECT_EQ(x.to_uint64(), 12345u);
+  EXPECT_EQ(x.bit_length(), 14u);
+}
+
+TEST(BigUint, AdditionMatchesUint64) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng() >> 1;  // avoid overflow
+    const std::uint64_t b = rng() >> 1;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).to_uint64(), a + b);
+  }
+}
+
+TEST(BigUint, AdditionCarriesAcrossWords) {
+  const BigUint max64(~std::uint64_t{0});
+  const BigUint sum = max64 + BigUint(1);
+  EXPECT_EQ(sum, BigUint::pow2(64));
+  EXPECT_EQ(sum.bit_length(), 65u);
+}
+
+TEST(BigUint, MultiplicationMatches128Bit) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    const __uint128_t ref = static_cast<__uint128_t>(a) * b;
+    const BigUint got = BigUint(a) * BigUint(b);
+    BigUint expect(static_cast<std::uint64_t>(ref >> 64));
+    expect <<= 64;
+    expect += BigUint(static_cast<std::uint64_t>(ref));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(BigUint, MultiplyByZero) {
+  EXPECT_TRUE((BigUint(123) * BigUint(0)).is_zero());
+  EXPECT_TRUE((BigUint(0) * BigUint::pow2(100)).is_zero());
+}
+
+TEST(BigUint, Pow2AndShift) {
+  for (std::size_t k : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    const BigUint p = BigUint::pow2(k);
+    EXPECT_EQ(p.bit_length(), k + 1);
+    EXPECT_EQ(BigUint(1) << k, p);
+    EXPECT_DOUBLE_EQ(p.log2(), static_cast<double>(k));
+  }
+}
+
+TEST(BigUint, ShiftComposesWithMultiplication) {
+  const BigUint x(0xdeadbeefcafebabeULL);
+  EXPECT_EQ(x << 7, x * BigUint(128));
+  EXPECT_EQ((x << 64) << 3, x << 67);
+}
+
+TEST(BigUint, SubtractionMatchesUint64) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t a = rng(), b = rng();
+    if (a < b) std::swap(a, b);
+    BigUint x(a);
+    x -= BigUint(b);
+    EXPECT_EQ(x.to_uint64(), a - b);
+  }
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  BigUint small(3);
+  EXPECT_THROW(small -= BigUint(4), std::underflow_error);
+}
+
+TEST(BigUint, ComparisonOrdering) {
+  EXPECT_LT(BigUint(3), BigUint(4));
+  EXPECT_LT(BigUint(~std::uint64_t{0}), BigUint::pow2(64));
+  EXPECT_GT(BigUint::pow2(128), BigUint::pow2(127));
+  EXPECT_EQ(BigUint(7), BigUint(7));
+}
+
+TEST(BigUint, ToStringLargeKnownValue) {
+  // 2^128 = 340282366920938463463374607431768211456
+  EXPECT_EQ(BigUint::pow2(128).to_string(),
+            "340282366920938463463374607431768211456");
+  // 10^20
+  BigUint ten20(10);
+  BigUint acc(1);
+  for (int i = 0; i < 20; ++i) acc = acc * BigUint(10);
+  EXPECT_EQ(acc.to_string(), "100000000000000000000");
+}
+
+TEST(BigUint, Log2Accuracy) {
+  const BigUint x = BigUint(3) << 100;  // log2 = 100 + log2(3)
+  EXPECT_NEAR(x.log2(), 100.0 + std::log2(3.0), 1e-9);
+  EXPECT_EQ(BigUint().log2(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BigUint, ToDoubleLarge) {
+  EXPECT_DOUBLE_EQ(BigUint::pow2(100).to_double(), std::pow(2.0, 100));
+}
+
+TEST(BigUint, RandomBelowStaysBelow) {
+  Rng rng(5);
+  const BigUint bound = (BigUint(12345) << 70) + BigUint(17);
+  for (int i = 0; i < 300; ++i) {
+    const BigUint x = BigUint::random_below(bound, rng);
+    EXPECT_LT(x, bound);
+  }
+}
+
+TEST(BigUint, RandomBelowCoversSmallRange) {
+  Rng rng(6);
+  bool seen[5] = {};
+  for (int i = 0; i < 300; ++i)
+    seen[BigUint::random_below(BigUint(5), rng).to_uint64()] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(BigUint, RandomBelowZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(BigUint::random_below(BigUint(0), rng), std::invalid_argument);
+}
+
+TEST(BigUint, FitsUint64Flag) {
+  EXPECT_TRUE(BigUint(~std::uint64_t{0}).fits_uint64());
+  EXPECT_FALSE(BigUint::pow2(64).fits_uint64());
+  EXPECT_TRUE(BigUint(0).fits_uint64());
+}
+
+}  // namespace
+}  // namespace unigen

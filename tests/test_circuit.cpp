@@ -1,0 +1,226 @@
+// Tests for the circuit IR: gate semantics via simulation, constant
+// folding, structural hashing, word-level arithmetic, module instantiation.
+
+#include <gtest/gtest.h>
+
+#include "cnf/circuit.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+namespace {
+
+using Sig = Circuit::Sig;
+
+TEST(Circuit, ConstantsAndNot) {
+  Circuit c;
+  EXPECT_EQ(Circuit::lnot(Circuit::kFalse), Circuit::kTrue);
+  EXPECT_EQ(Circuit::lnot(Circuit::kTrue), Circuit::kFalse);
+}
+
+TEST(Circuit, AndTruthTable) {
+  Circuit c;
+  const Sig a = c.add_input("a");
+  const Sig b = c.add_input("b");
+  c.add_output(c.land(a, b));
+  EXPECT_FALSE(c.simulate({false, false})[0]);
+  EXPECT_FALSE(c.simulate({true, false})[0]);
+  EXPECT_FALSE(c.simulate({false, true})[0]);
+  EXPECT_TRUE(c.simulate({true, true})[0]);
+}
+
+TEST(Circuit, XorOrMuxMajTruthTables) {
+  Circuit c;
+  const Sig a = c.add_input();
+  const Sig b = c.add_input();
+  const Sig s = c.add_input();
+  c.add_output(c.lxor(a, b));
+  c.add_output(c.lor(a, b));
+  c.add_output(c.mux(s, a, b));
+  c.add_output(c.maj3(a, b, s));
+  for (int bits = 0; bits < 8; ++bits) {
+    const bool va = bits & 1, vb = bits & 2, vs = bits & 4;
+    const auto out = c.simulate({va, vb, vs});
+    EXPECT_EQ(out[0], va != vb);
+    EXPECT_EQ(out[1], va || vb);
+    EXPECT_EQ(out[2], vs ? va : vb);
+    EXPECT_EQ(out[3], (va && vb) || (va && vs) || (vb && vs));
+  }
+}
+
+TEST(Circuit, ConstantFolding) {
+  Circuit c;
+  const Sig a = c.add_input();
+  EXPECT_EQ(c.land(a, Circuit::kFalse), Circuit::kFalse);
+  EXPECT_EQ(c.land(a, Circuit::kTrue), a);
+  EXPECT_EQ(c.land(a, a), a);
+  EXPECT_EQ(c.land(a, Circuit::lnot(a)), Circuit::kFalse);
+  EXPECT_EQ(c.lxor(a, Circuit::kFalse), a);
+  EXPECT_EQ(c.lxor(a, Circuit::kTrue), Circuit::lnot(a));
+  EXPECT_EQ(c.lxor(a, a), Circuit::kFalse);
+  EXPECT_EQ(c.lxor(a, Circuit::lnot(a)), Circuit::kTrue);
+}
+
+TEST(Circuit, StructuralHashingDeduplicates) {
+  Circuit c;
+  const Sig a = c.add_input();
+  const Sig b = c.add_input();
+  const std::size_t before = c.num_nodes();
+  const Sig g1 = c.land(a, b);
+  const Sig g2 = c.land(b, a);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(c.num_nodes(), before + 1);
+  // XOR complement normalization: ~a ^ b == ~(a ^ b).
+  const Sig x1 = c.lxor(Circuit::lnot(a), b);
+  const Sig x2 = Circuit::lnot(c.lxor(a, b));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(Circuit, AdderMatchesIntegerAddition) {
+  Circuit c;
+  const auto a = c.input_word(6, "a");
+  const auto b = c.input_word(6, "b");
+  const auto sum = c.add_word(a, b, /*keep_carry=*/true);
+  for (const Sig s : sum) c.add_output(s);
+  Rng rng(51);
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t x = rng.below(64), y = rng.below(64);
+    std::vector<bool> in;
+    for (int i = 0; i < 6; ++i) in.push_back((x >> i) & 1);
+    for (int i = 0; i < 6; ++i) in.push_back((y >> i) & 1);
+    const auto out = c.simulate(in);
+    std::uint64_t got = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i]) got |= std::uint64_t{1} << i;
+    EXPECT_EQ(got, x + y);
+  }
+}
+
+TEST(Circuit, MultiplierMatchesIntegerProduct) {
+  Circuit c;
+  const auto a = c.input_word(5, "a");
+  const auto b = c.input_word(5, "b");
+  const auto prod = c.mul_word(a, b, 10);
+  for (const Sig s : prod) c.add_output(s);
+  Rng rng(53);
+  for (int round = 0; round < 100; ++round) {
+    const std::uint64_t x = rng.below(32), y = rng.below(32);
+    std::vector<bool> in;
+    for (int i = 0; i < 5; ++i) in.push_back((x >> i) & 1);
+    for (int i = 0; i < 5; ++i) in.push_back((y >> i) & 1);
+    const auto out = c.simulate(in);
+    std::uint64_t got = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i]) got |= std::uint64_t{1} << i;
+    EXPECT_EQ(got, x * y);
+  }
+}
+
+TEST(Circuit, ComparatorsMatchIntegers) {
+  Circuit c;
+  const auto a = c.input_word(4, "a");
+  const auto b = c.input_word(4, "b");
+  c.add_output(c.eq_word(a, b));
+  c.add_output(c.ult_word(a, b));
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) in.push_back((x >> i) & 1);
+      for (int i = 0; i < 4; ++i) in.push_back((y >> i) & 1);
+      const auto out = c.simulate(in);
+      EXPECT_EQ(out[0], x == y);
+      EXPECT_EQ(out[1], x < y);
+    }
+  }
+}
+
+TEST(Circuit, ConstantWord) {
+  Circuit c;
+  const auto w = c.constant_word(0b1011, 4);
+  for (const Sig s : w) c.add_output(s);
+  const auto out = c.simulate({});
+  EXPECT_TRUE(out[0]);
+  EXPECT_TRUE(out[1]);
+  EXPECT_FALSE(out[2]);
+  EXPECT_TRUE(out[3]);
+}
+
+TEST(Circuit, NaryTrees) {
+  Circuit c;
+  std::vector<Sig> ins;
+  for (int i = 0; i < 7; ++i) ins.push_back(c.add_input());
+  c.add_output(c.and_n(ins));
+  c.add_output(c.or_n(ins));
+  c.add_output(c.xor_n(ins));
+  Rng rng(57);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<bool> in;
+    bool all = true, any = false, parity = false;
+    for (int i = 0; i < 7; ++i) {
+      const bool b = rng.flip();
+      in.push_back(b);
+      all = all && b;
+      any = any || b;
+      parity ^= b;
+    }
+    const auto out = c.simulate(in);
+    EXPECT_EQ(out[0], all);
+    EXPECT_EQ(out[1], any);
+    EXPECT_EQ(out[2], parity);
+  }
+}
+
+TEST(Circuit, EmptyAndOrTrees) {
+  Circuit c;
+  EXPECT_EQ(c.and_n({}), Circuit::kTrue);
+  EXPECT_EQ(c.or_n({}), Circuit::kFalse);
+  EXPECT_EQ(c.xor_n({}), Circuit::kFalse);
+}
+
+TEST(Circuit, AppendInstantiatesSubcircuit) {
+  // Sub-circuit: full adder.
+  Circuit fa;
+  const Sig a = fa.add_input();
+  const Sig b = fa.add_input();
+  const Sig cin = fa.add_input();
+  fa.add_output(fa.lxor(fa.lxor(a, b), cin));
+  fa.add_output(fa.maj3(a, b, cin));
+
+  // Host: chain two full adders into a 2-bit adder.
+  Circuit host;
+  const auto x = host.input_word(2, "x");
+  const auto y = host.input_word(2, "y");
+  const auto s0 = host.append(fa, {x[0], y[0], Circuit::kFalse});
+  const auto s1 = host.append(fa, {x[1], y[1], s0[1]});
+  host.add_output(s0[0]);
+  host.add_output(s1[0]);
+  host.add_output(s1[1]);
+  for (std::uint64_t vx = 0; vx < 4; ++vx) {
+    for (std::uint64_t vy = 0; vy < 4; ++vy) {
+      const auto out = host.simulate(
+          {(vx & 1) != 0, (vx & 2) != 0, (vy & 1) != 0, (vy & 2) != 0});
+      std::uint64_t got = static_cast<std::uint64_t>(out[0]) |
+                          (static_cast<std::uint64_t>(out[1]) << 1) |
+                          (static_cast<std::uint64_t>(out[2]) << 2);
+      EXPECT_EQ(got, vx + vy);
+    }
+  }
+}
+
+TEST(Circuit, AppendBindingMismatchThrows) {
+  Circuit sub;
+  sub.add_input();
+  Circuit host;
+  EXPECT_THROW(host.append(sub, {}), std::invalid_argument);
+}
+
+TEST(Circuit, WidthMismatchThrows) {
+  Circuit c;
+  const auto a = c.input_word(3, "a");
+  const auto b = c.input_word(4, "b");
+  EXPECT_THROW(c.add_word(a, b), std::invalid_argument);
+  EXPECT_THROW(c.eq_word(a, b), std::invalid_argument);
+  EXPECT_THROW(c.ult_word(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unigen

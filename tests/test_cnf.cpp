@@ -1,0 +1,142 @@
+// Tests for the Cnf container: evaluation semantics, sampling sets, and
+// the XOR -> CNF expansion used by the exact counter.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+using test::brute_force_count;
+using test::brute_force_models;
+using test::brute_force_projected_count;
+using test::random_cnf_xor;
+
+TEST(Lit, DimacsRoundTrip) {
+  for (int d : {1, -1, 5, -5, 100, -100}) {
+    EXPECT_EQ(Lit::from_dimacs(d).to_dimacs(), d);
+  }
+  EXPECT_EQ(Lit::from_dimacs(3).var(), 2);
+  EXPECT_FALSE(Lit::from_dimacs(3).sign());
+  EXPECT_TRUE(Lit::from_dimacs(-3).sign());
+}
+
+TEST(Lit, NegationInvolution) {
+  const Lit l(7, false);
+  EXPECT_EQ(~~l, l);
+  EXPECT_NE(~l, l);
+  EXPECT_EQ((~l).var(), l.var());
+}
+
+TEST(Cnf, GrowsVariableSpaceOnAdd) {
+  Cnf cnf;
+  cnf.add_clause({Lit(9, false)});
+  EXPECT_EQ(cnf.num_vars(), 10);
+}
+
+TEST(Cnf, SatisfiedByChecksClausesAndXors) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  cnf.add_xor({1, 2}, true);
+  Model m{lbool::False, lbool::True, lbool::False};
+  EXPECT_TRUE(cnf.satisfied_by(m));
+  m[2] = lbool::True;  // x1 ^ x2 now 0 != 1
+  EXPECT_FALSE(cnf.satisfied_by(m));
+  m[1] = lbool::False;
+  EXPECT_FALSE(cnf.satisfied_by(m));  // clause now violated too
+}
+
+TEST(Cnf, SamplingSetDeduplicatesAndSorts) {
+  Cnf cnf(5);
+  cnf.set_sampling_set({3, 1, 3, 1, 4});
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(*cnf.sampling_set(), (std::vector<Var>{1, 3, 4}));
+}
+
+TEST(Cnf, SamplingSetOutOfRangeThrows) {
+  Cnf cnf(3);
+  EXPECT_THROW(cnf.set_sampling_set({5}), std::invalid_argument);
+}
+
+TEST(Cnf, SamplingSetOrAllDefaultsToAllVars) {
+  Cnf cnf(3);
+  EXPECT_EQ(cnf.sampling_set_or_all(), (std::vector<Var>{0, 1, 2}));
+}
+
+TEST(ExpandXors, SmallXorExactClauseCount) {
+  Cnf cnf(3);
+  cnf.add_xor({0, 1, 2}, true);
+  const Cnf expanded = cnf.expand_xors();
+  EXPECT_EQ(expanded.num_xors(), 0u);
+  EXPECT_EQ(expanded.num_clauses(), 4u);  // 2^(3-1)
+  EXPECT_EQ(expanded.num_vars(), 3);      // no chunking needed
+  EXPECT_EQ(brute_force_count(expanded), brute_force_count(cnf));
+}
+
+TEST(ExpandXors, RhsFalsePolarity) {
+  Cnf cnf(2);
+  cnf.add_xor({0, 1}, false);  // equality
+  const Cnf expanded = cnf.expand_xors();
+  EXPECT_EQ(brute_force_count(expanded), 2u);
+}
+
+TEST(ExpandXors, LongXorChunksWithAuxVars) {
+  Cnf cnf(12);
+  std::vector<Var> vars;
+  for (Var v = 0; v < 12; ++v) vars.push_back(v);
+  cnf.add_xor(vars, true);
+  const Cnf expanded = cnf.expand_xors(4);
+  EXPECT_GT(expanded.num_vars(), 12);
+  // Model count preserved: 2^11 over original vars; aux vars are defined.
+  EXPECT_EQ(brute_force_count(expanded), 1u << 11);
+}
+
+TEST(ExpandXors, EmptyXorTrueBecomesUnsat) {
+  Cnf cnf(1);
+  cnf.add_xor(std::vector<Var>{}, true);
+  const Cnf expanded = cnf.expand_xors();
+  EXPECT_EQ(brute_force_count(expanded), 0u);
+}
+
+TEST(ExpandXors, DuplicateVarsCancel) {
+  Cnf cnf(2);
+  cnf.add_xor({0, 0, 1}, true);  // == x1 = 1
+  const Cnf expanded = cnf.expand_xors();
+  const auto models = brute_force_models(expanded);
+  ASSERT_EQ(models.size(), 2u);
+  for (const auto& m : models) EXPECT_EQ(m[1], lbool::True);
+}
+
+class ExpandXorsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpandXorsFuzz, CountPreservedOnRandomFormulas) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 3);
+  const Cnf cnf = random_cnf_xor(8, 10, 3, 3, rng);
+  const Cnf expanded = cnf.expand_xors(4);
+  EXPECT_EQ(expanded.num_xors(), 0u);
+  // Counting over the expanded formula's full variable set equals counting
+  // over the original: each original model extends uniquely to aux vars.
+  std::vector<Var> orig(8);
+  for (Var v = 0; v < 8; ++v) orig[static_cast<std::size_t>(v)] = v;
+  EXPECT_EQ(brute_force_count(cnf),
+            expanded.num_vars() <= 20 ? brute_force_count(expanded)
+                                      : brute_force_projected_count(expanded, orig));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExpandXorsFuzz, ::testing::Range(0, 10));
+
+TEST(Cnf, SummaryMentionsShape) {
+  Cnf cnf(4);
+  cnf.name = "probe";
+  cnf.add_clause({Lit(0, false)});
+  cnf.add_xor({1, 2}, true);
+  cnf.set_sampling_set({0, 1});
+  const std::string s = cnf.summary();
+  EXPECT_NE(s.find("probe"), std::string::npos);
+  EXPECT_NE(s.find("vars=4"), std::string::npos);
+  EXPECT_NE(s.find("|S|=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unigen

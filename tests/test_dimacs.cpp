@@ -1,0 +1,121 @@
+// Tests for DIMACS parsing/serialization including `c ind` sampling sets
+// and CryptoMiniSAT-style `x` XOR lines.
+
+#include <gtest/gtest.h>
+
+#include "cnf/dimacs.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(Dimacs, ParsesPlainCnf) {
+  const Cnf cnf = parse_dimacs_string(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  EXPECT_EQ(cnf.num_vars(), 3);
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0],
+            (std::vector<Lit>{Lit(0, false), Lit(1, true)}));
+  EXPECT_EQ(cnf.clauses()[1],
+            (std::vector<Lit>{Lit(1, false), Lit(2, false)}));
+}
+
+TEST(Dimacs, ParsesIndLines) {
+  const Cnf cnf = parse_dimacs_string(
+      "c ind 1 3 0\n"
+      "c ind 5 0\n"
+      "p cnf 5 1\n"
+      "1 2 0\n");
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(*cnf.sampling_set(), (std::vector<Var>{0, 2, 4}));
+}
+
+TEST(Dimacs, ParsesXorLines) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 3 2\n"
+      "x1 2 3 0\n"
+      "x-1 2 0\n");
+  ASSERT_EQ(cnf.num_xors(), 2u);
+  EXPECT_EQ(cnf.xors()[0].vars, (std::vector<Var>{0, 1, 2}));
+  EXPECT_TRUE(cnf.xors()[0].rhs);
+  EXPECT_EQ(cnf.xors()[1].vars, (std::vector<Var>{0, 1}));
+  EXPECT_FALSE(cnf.xors()[1].rhs);  // leading negation flips rhs
+}
+
+TEST(Dimacs, XorWithSpaceAfterX) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 2 1\n"
+      "x 1 2 0\n");
+  ASSERT_EQ(cnf.num_xors(), 1u);
+  EXPECT_TRUE(cnf.xors()[0].rhs);
+}
+
+TEST(Dimacs, ClauseWrappingAcrossLines) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 1\n"
+      "1 2\n"
+      "3 4 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 4u);
+}
+
+TEST(Dimacs, MissingHeaderThrows) {
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, MalformedHeaderThrows) {
+  EXPECT_THROW(parse_dimacs_string("p dnf 3 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, GarbageTokenThrows) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\nfoo 2 0\n"),
+               std::runtime_error);
+}
+
+TEST(Dimacs, HeaderGrowsVariableSpace) {
+  const Cnf cnf = parse_dimacs_string("p cnf 10 1\n1 0\n");
+  EXPECT_EQ(cnf.num_vars(), 10);
+}
+
+TEST(Dimacs, RoundTripPreservesEverything) {
+  Rng rng(47);
+  Cnf cnf = test::random_cnf_xor(9, 12, 3, 3, rng);
+  cnf.set_sampling_set({0, 2, 4, 6, 8});
+  cnf.name = "roundtrip";
+  const Cnf back = parse_dimacs_string(to_dimacs_string(cnf));
+  EXPECT_EQ(back.num_vars(), cnf.num_vars());
+  EXPECT_EQ(back.num_clauses(), cnf.num_clauses());
+  EXPECT_EQ(back.num_xors(), cnf.num_xors());
+  EXPECT_EQ(back.sampling_set(), cnf.sampling_set());
+  // Semantics preserved: same brute-force count.
+  EXPECT_EQ(test::brute_force_count(back), test::brute_force_count(cnf));
+}
+
+TEST(Dimacs, RoundTripXorRhsEncoding) {
+  Cnf cnf(3);
+  cnf.add_xor({0, 1, 2}, false);
+  const Cnf back = parse_dimacs_string(to_dimacs_string(cnf));
+  ASSERT_EQ(back.num_xors(), 1u);
+  EXPECT_EQ(back.xors()[0].vars, cnf.xors()[0].vars);
+  EXPECT_EQ(back.xors()[0].rhs, cnf.xors()[0].rhs);
+}
+
+TEST(Dimacs, FileIo) {
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, false), Lit(1, true)});
+  const std::string path = ::testing::TempDir() + "/unigen_dimacs_test.cnf";
+  write_dimacs_file(cnf, path);
+  const Cnf back = parse_dimacs_file(path);
+  EXPECT_EQ(back.num_clauses(), 1u);
+  EXPECT_EQ(back.num_vars(), 2);
+}
+
+TEST(Dimacs, MissingFileThrows) {
+  EXPECT_THROW(parse_dimacs_file("/nonexistent/path.cnf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace unigen

@@ -1,0 +1,121 @@
+// Tests for BSAT: completeness, projection semantics, bounds, deadlines.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hpp"
+#include "sat/enumerator.hpp"
+
+namespace unigen {
+namespace {
+
+using test::brute_force_count;
+using test::brute_force_projected_count;
+using test::random_cnf;
+using test::random_cnf_xor;
+
+TEST(Enumerator, ExhaustsSmallFormula) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});  // a | b
+  // 6 of 8 assignments satisfy a|b.
+  const auto result = bsat(cnf, 100);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, 6u);
+  EXPECT_EQ(result.models.size(), 6u);
+}
+
+TEST(Enumerator, RespectsMaxModels) {
+  Cnf cnf(4);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  const auto result = bsat(cnf, 3);
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_EQ(result.count, 3u);
+}
+
+TEST(Enumerator, UnsatFormulaYieldsNothing) {
+  Cnf cnf(1);
+  cnf.add_clause({Lit(0, false)});
+  cnf.add_clause({Lit(0, true)});
+  const auto result = bsat(cnf, 10);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, 0u);
+}
+
+TEST(Enumerator, ModelsAreDistinctAndValid) {
+  Rng rng(23);
+  const Cnf cnf = random_cnf(8, 18, 3, rng);
+  const auto result = bsat(cnf, 10000);
+  ASSERT_TRUE(result.exhausted);
+  std::set<std::vector<int>> distinct;
+  for (const Model& m : result.models) {
+    EXPECT_TRUE(cnf.satisfied_by(m));
+    std::vector<int> key;
+    for (const lbool v : m) key.push_back(static_cast<int>(v));
+    distinct.insert(key);
+  }
+  EXPECT_EQ(distinct.size(), result.models.size());
+  EXPECT_EQ(result.count, brute_force_count(cnf));
+}
+
+TEST(Enumerator, ProjectionCountsDistinctProjections) {
+  // y is free; projecting on {x} must count each x-value once.
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  cnf.set_sampling_set({0});
+  const auto result = bsat(cnf, 100);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, 2u);  // x=0 (with y=1) and x=1
+}
+
+TEST(Enumerator, ProjectedCountMatchesBruteForce) {
+  Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    Cnf cnf = random_cnf_xor(8, 14, 3, 2, rng);
+    const std::vector<Var> proj{0, 2, 4, 6};
+    cnf.set_sampling_set(proj);
+    const auto result = bsat(cnf, 10000);
+    ASSERT_TRUE(result.exhausted);
+    EXPECT_EQ(result.count, brute_force_projected_count(cnf, proj))
+        << "round " << round;
+  }
+}
+
+TEST(Enumerator, StoreModelsOffStillCounts) {
+  Rng rng(5);
+  const Cnf cnf = random_cnf(8, 16, 3, rng);
+  Solver s;
+  s.load(cnf);
+  EnumerateOptions opts;
+  opts.store_models = false;
+  const auto result = enumerate_models(s, opts);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.models.empty());
+  EXPECT_EQ(result.count, brute_force_count(cnf));
+}
+
+TEST(Enumerator, ExpiredDeadlineReportsTimeout) {
+  Rng rng(5);
+  const Cnf cnf = random_cnf(16, 30, 3, rng);
+  const auto result = bsat(cnf, UINT64_MAX, Deadline::in_seconds(0.0));
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.exhausted);
+}
+
+TEST(Enumerator, FullModelsReturnedUnderProjection) {
+  // Even when blocking over the projection, returned models are total.
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false)});
+  cnf.add_clause({Lit(0, true), Lit(2, false)});
+  cnf.set_sampling_set({0, 1});
+  const auto result = bsat(cnf, 100);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, 2u);  // x1 free in projection, x2 forced
+  for (const Model& m : result.models) {
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_TRUE(cnf.satisfied_by(m));
+  }
+}
+
+}  // namespace
+}  // namespace unigen

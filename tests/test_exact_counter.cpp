@@ -1,0 +1,160 @@
+// Tests for the DPLL# exact counter against brute force and against
+// closed-form counts.
+
+#include <gtest/gtest.h>
+
+#include "counting/exact_counter.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+using test::brute_force_count;
+using test::random_cnf;
+using test::random_cnf_xor;
+
+BigUint must_count(const Cnf& cnf) {
+  ExactCounter counter;
+  const auto result = counter.count(cnf);
+  EXPECT_TRUE(result.has_value());
+  return result.value_or(BigUint{});
+}
+
+TEST(ExactCounter, EmptyFormula) {
+  Cnf cnf(5);
+  EXPECT_EQ(must_count(cnf), BigUint(32));
+}
+
+TEST(ExactCounter, NoVariables) {
+  Cnf cnf(0);
+  EXPECT_EQ(must_count(cnf), BigUint(1));
+}
+
+TEST(ExactCounter, SingleUnit) {
+  Cnf cnf(3);
+  cnf.add_unit(Lit(1, false));
+  EXPECT_EQ(must_count(cnf), BigUint(4));
+}
+
+TEST(ExactCounter, UnsatFormula) {
+  Cnf cnf(2);
+  cnf.add_unit(Lit(0, false));
+  cnf.add_unit(Lit(0, true));
+  EXPECT_EQ(must_count(cnf), BigUint(0));
+}
+
+TEST(ExactCounter, ExplicitEmptyClause) {
+  Cnf cnf(4);
+  cnf.add_clause({});
+  EXPECT_EQ(must_count(cnf), BigUint(0));
+}
+
+TEST(ExactCounter, IsolatedVariablesDouble) {
+  Cnf cnf(10);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});  // 3 of 4 over {0,1}
+  EXPECT_EQ(must_count(cnf), BigUint(3u << 8));
+}
+
+TEST(ExactCounter, IndependentComponentsMultiply) {
+  Cnf cnf(4);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});  // 3 models
+  cnf.add_clause({Lit(2, false), Lit(3, false)});  // 3 models
+  ExactCounter counter;
+  EXPECT_EQ(counter.count(cnf).value(), BigUint(9));
+  EXPECT_GT(counter.stats().component_splits, 0u);
+}
+
+TEST(ExactCounter, XorConstraintsViaExpansion) {
+  Cnf cnf(6);
+  cnf.add_xor({0, 1, 2}, true);
+  cnf.add_xor({3, 4}, false);
+  // 2^5 · 2^... : each independent xor halves: 2^6 / 4 = 16.
+  EXPECT_EQ(must_count(cnf), BigUint(16));
+}
+
+TEST(ExactCounter, LongXorChunkingPreservesCount) {
+  Cnf cnf(14);
+  std::vector<Var> all;
+  for (Var v = 0; v < 14; ++v) all.push_back(v);
+  cnf.add_xor(all, false);
+  EXPECT_EQ(must_count(cnf), BigUint(1u << 13));
+}
+
+TEST(ExactCounter, CacheIsExercised) {
+  // Two disjoint copies of the same sub-formula share cache entries.
+  Cnf cnf(8);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  cnf.add_clause({Lit(0, true), Lit(1, true)});
+  cnf.add_clause({Lit(4, false), Lit(5, false), Lit(6, false)});
+  cnf.add_clause({Lit(4, true), Lit(5, true)});
+  ExactCounter counter;
+  const BigUint n = counter.count(cnf).value();
+  EXPECT_EQ(n, BigUint(brute_force_count(cnf)));
+  EXPECT_GT(counter.stats().cache_lookups, 0u);
+}
+
+TEST(ExactCounter, ExpiredDeadlineReturnsNullopt) {
+  Rng rng(3);
+  const Cnf cnf = random_cnf(18, 60, 3, rng);
+  ExactCounterOptions opts;
+  opts.deadline = Deadline::in_seconds(0.0);
+  ExactCounter counter(opts);
+  EXPECT_FALSE(counter.count(cnf).has_value());
+}
+
+TEST(ExactCounter, KnownCountPigeonHoleSat) {
+  // 2 pigeons, 2 holes, one-hole-per-pigeon exactly: 2 permutation models.
+  Cnf cnf(4);  // p(i,j) = 2i + j
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  cnf.add_clause({Lit(2, false), Lit(3, false)});
+  cnf.add_clause({Lit(0, true), Lit(1, true)});
+  cnf.add_clause({Lit(2, true), Lit(3, true)});
+  cnf.add_clause({Lit(0, true), Lit(2, true)});
+  cnf.add_clause({Lit(1, true), Lit(3, true)});
+  EXPECT_EQ(must_count(cnf), BigUint(2));
+}
+
+class ExactCounterFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactCounterFuzz, MatchesBruteForceOnRandomCnf) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 7);
+  for (const std::size_t clauses : {10u, 25u, 40u}) {
+    const Cnf cnf = random_cnf(10, clauses, 3, rng);
+    EXPECT_EQ(must_count(cnf), BigUint(brute_force_count(cnf)))
+        << "seed=" << GetParam() << " clauses=" << clauses;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactCounterFuzz, ::testing::Range(0, 20));
+
+class ExactCounterXorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactCounterXorFuzz, MatchesBruteForceOnCnfXor) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 11);
+  const Cnf cnf = random_cnf_xor(9, 12, 3, 3, rng);
+  EXPECT_EQ(must_count(cnf), BigUint(brute_force_count(cnf)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactCounterXorFuzz,
+                         ::testing::Range(0, 15));
+
+TEST(ProjectedCount, MatchesBruteForce) {
+  Rng rng(19);
+  for (int round = 0; round < 8; ++round) {
+    const Cnf cnf = random_cnf_xor(8, 12, 3, 2, rng);
+    const std::vector<Var> proj{1, 3, 5, 7};
+    const auto got = count_projected_by_enumeration(cnf, proj, 10000);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, test::brute_force_projected_count(cnf, proj));
+  }
+}
+
+TEST(ProjectedCount, BoundExceededReturnsNullopt) {
+  Cnf cnf(8);  // 256 models, bound 10
+  std::vector<Var> proj;
+  for (Var v = 0; v < 8; ++v) proj.push_back(v);
+  EXPECT_FALSE(count_projected_by_enumeration(cnf, proj, 10).has_value());
+}
+
+}  // namespace
+}  // namespace unigen

@@ -1,0 +1,157 @@
+// Tests for GF(2) vectors and the row-reduced parity system.
+
+#include <gtest/gtest.h>
+
+#include "util/gf2.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(Gf2Vector, SetGetFlip) {
+  Gf2Vector v(130);
+  EXPECT_FALSE(v.any());
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(Gf2Vector, XorWith) {
+  Gf2Vector a(100), b(100);
+  a.set(3, true);
+  a.set(70, true);
+  b.set(3, true);
+  b.set(99, true);
+  a.xor_with(b);
+  EXPECT_FALSE(a.get(3));
+  EXPECT_TRUE(a.get(70));
+  EXPECT_TRUE(a.get(99));
+}
+
+TEST(Gf2Vector, FirstSet) {
+  Gf2Vector v(200);
+  EXPECT_EQ(v.first_set(), Gf2Vector::npos);
+  v.set(150, true);
+  EXPECT_EQ(v.first_set(), 150u);
+  v.set(7, true);
+  EXPECT_EQ(v.first_set(), 7u);
+}
+
+TEST(Gf2System, SingleConstraintRankOne) {
+  Gf2System sys(5);
+  EXPECT_TRUE(sys.add_constraint({0, 2}, true));
+  EXPECT_EQ(sys.rank(), 1u);
+  EXPECT_TRUE(sys.consistent());
+}
+
+TEST(Gf2System, RedundantConstraintDoesNotGrowRank) {
+  Gf2System sys(5);
+  EXPECT_TRUE(sys.add_constraint({0, 1}, true));
+  EXPECT_TRUE(sys.add_constraint({1, 2}, false));
+  EXPECT_TRUE(sys.add_constraint({0, 2}, true));  // sum of the first two
+  EXPECT_EQ(sys.rank(), 2u);
+  EXPECT_TRUE(sys.consistent());
+}
+
+TEST(Gf2System, InconsistentSystemDetected) {
+  Gf2System sys(4);
+  EXPECT_TRUE(sys.add_constraint({0, 1}, true));
+  EXPECT_TRUE(sys.add_constraint({1, 2}, true));
+  EXPECT_FALSE(sys.add_constraint({0, 2}, true));  // implies 0 = 1
+  EXPECT_FALSE(sys.consistent());
+}
+
+TEST(Gf2System, DuplicatedVarsCancelInConstraint) {
+  Gf2System sys(4);
+  // x0 ^ x0 ^ x1 = 1  ==  x1 = 1.
+  EXPECT_TRUE(sys.add_constraint({0, 0, 1}, true));
+  const auto units = sys.implied_units();
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].first, 1u);
+  EXPECT_TRUE(units[0].second);
+}
+
+TEST(Gf2System, ImpliedUnitsFromElimination) {
+  Gf2System sys(3);
+  EXPECT_TRUE(sys.add_constraint({0, 1}, true));
+  EXPECT_TRUE(sys.add_constraint({0}, false));  // x0 = 0 -> x1 = 1
+  const auto units = sys.implied_units();
+  ASSERT_EQ(units.size(), 2u);
+}
+
+TEST(Gf2System, RankMatchesBruteForceSolutionCount) {
+  // #solutions of consistent system = 2^(n - rank); check by enumeration.
+  Rng rng(41);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 8;
+    std::vector<std::pair<std::vector<std::uint32_t>, bool>> constraints;
+    Gf2System sys(n);
+    bool consistent = true;
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::uint32_t> vars;
+      for (std::uint32_t v = 0; v < n; ++v)
+        if (rng.flip()) vars.push_back(v);
+      const bool rhs = rng.flip();
+      constraints.emplace_back(vars, rhs);
+      consistent = sys.add_constraint(vars, rhs) && consistent;
+    }
+    std::uint64_t solutions = 0;
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      bool ok = true;
+      for (const auto& [vars, rhs] : constraints) {
+        bool parity = false;
+        for (const auto v : vars) parity ^= ((bits >> v) & 1u) != 0;
+        if (parity != rhs) {
+          ok = false;
+          break;
+        }
+      }
+      solutions += ok;
+    }
+    const std::uint64_t expected =
+        consistent ? (std::uint64_t{1} << (n - sys.rank())) : 0;
+    EXPECT_EQ(solutions, expected) << "round " << round;
+  }
+}
+
+TEST(Gf2System, ReducedRowsSpanSameSolutionSet) {
+  Rng rng(43);
+  const std::size_t n = 7;
+  Gf2System sys(n);
+  std::vector<std::pair<std::vector<std::uint32_t>, bool>> original;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::uint32_t> vars;
+    for (std::uint32_t v = 0; v < n; ++v)
+      if (rng.flip()) vars.push_back(v);
+    if (vars.empty()) vars.push_back(0);
+    const bool rhs = rng.flip();
+    original.emplace_back(vars, rhs);
+    ASSERT_TRUE(sys.add_constraint(vars, rhs));
+  }
+  const auto reduced = sys.reduced_rows();
+  // Every assignment satisfies the original system iff it satisfies the
+  // reduced one.
+  for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+    auto eval = [&](const std::vector<std::uint32_t>& vars, bool rhs) {
+      bool parity = false;
+      for (const auto v : vars) parity ^= ((bits >> v) & 1u) != 0;
+      return parity == rhs;
+    };
+    bool orig_ok = true;
+    for (const auto& [vars, rhs] : original) orig_ok = orig_ok && eval(vars, rhs);
+    bool red_ok = true;
+    for (const auto& row : reduced) red_ok = red_ok && eval(row.vars, row.rhs);
+    ASSERT_EQ(orig_ok, red_ok) << "assignment " << bits;
+  }
+}
+
+}  // namespace
+}  // namespace unigen

@@ -1,0 +1,139 @@
+// Tests for independent-support verification and minimization (Padoa
+// queries).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cnf/tseitin.hpp"
+#include "helpers.hpp"
+#include "support/independent_support.hpp"
+
+namespace unigen {
+namespace {
+
+/// Reference semantics by brute force: S is independent iff no two models
+/// share the same S-projection while differing elsewhere.
+bool brute_force_independent(const Cnf& cnf, const std::vector<Var>& s) {
+  std::map<std::vector<int>, std::vector<Model>> groups;
+  for (const Model& m : test::brute_force_models(cnf)) {
+    std::vector<int> key;
+    for (const Var v : s)
+      key.push_back(static_cast<int>(m[static_cast<std::size_t>(v)]));
+    groups[key].push_back(m);
+  }
+  for (const auto& [key, models] : groups)
+    if (models.size() > 1) return false;
+  return true;
+}
+
+TEST(IndependentSupport, EqualityFormula) {
+  // a = b: {a} and {b} are independent supports; {} is not.
+  Cnf cnf(2);
+  cnf.add_xor({0, 1}, false);
+  EXPECT_EQ(is_independent_support(cnf, {0}), std::optional<bool>(true));
+  EXPECT_EQ(is_independent_support(cnf, {1}), std::optional<bool>(true));
+  EXPECT_EQ(is_independent_support(cnf, {}), std::optional<bool>(false));
+  EXPECT_EQ(is_independent_support(cnf, {0, 1}), std::optional<bool>(true));
+}
+
+TEST(IndependentSupport, PaperExample) {
+  // (a ∨ ¬b) ∧ (¬a ∨ b) — the Section-2 example with supports {a}, {b},
+  // {a,b}.
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, false), Lit(1, true)});
+  cnf.add_clause({Lit(0, true), Lit(1, false)});
+  EXPECT_EQ(is_independent_support(cnf, {0}), std::optional<bool>(true));
+  EXPECT_EQ(is_independent_support(cnf, {1}), std::optional<bool>(true));
+}
+
+TEST(IndependentSupport, FreeVariableBlocksIndependence) {
+  // b free: {a} cannot determine b.
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, false)});
+  EXPECT_EQ(is_independent_support(cnf, {0}), std::optional<bool>(false));
+  EXPECT_EQ(is_independent_support(cnf, {0, 1}), std::optional<bool>(true));
+}
+
+TEST(IndependentSupport, TseitinInputsAreIndependent) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  const auto d = c.add_input();
+  c.add_output(c.lor(c.land(a, b), c.lxor(b, d)));
+  const auto enc = tseitin_encode(c);
+  EXPECT_EQ(is_independent_support(enc.cnf, enc.input_vars),
+            std::optional<bool>(true));
+}
+
+TEST(IndependentSupport, BudgetExhaustionIsUnknown) {
+  // A query that level-0 propagation/Gauss cannot settle: the solver must
+  // actually search, so an expired deadline yields "unknown".
+  Rng rng(99);
+  const Cnf cnf = test::random_cnf(12, 30, 3, rng);
+  SupportCheckOptions opts;
+  opts.deadline = Deadline::in_seconds(0.0);
+  EXPECT_EQ(is_independent_support(cnf, {0, 1, 2}, opts), std::nullopt);
+}
+
+TEST(IndependentSupport, MatchesBruteForceOnRandomFormulas) {
+  Rng rng(13);
+  for (int round = 0; round < 12; ++round) {
+    const Cnf cnf = test::random_cnf_xor(7, 10, 3, 2, rng);
+    std::vector<Var> s;
+    for (Var v = 0; v < 7; ++v)
+      if (rng.flip()) s.push_back(v);
+    const auto got = is_independent_support(cnf, s);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, brute_force_independent(cnf, s)) << "round " << round;
+  }
+}
+
+TEST(MinimizeSupport, ShrinksEqualityChain) {
+  // x0 = x1 = x2 = x3: any single variable is a minimal support.
+  Cnf cnf(4);
+  cnf.add_xor({0, 1}, false);
+  cnf.add_xor({1, 2}, false);
+  cnf.add_xor({2, 3}, false);
+  const auto minimal = minimize_independent_support(cnf, {0, 1, 2, 3});
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_EQ(minimal->size(), 1u);
+}
+
+TEST(MinimizeSupport, RejectsNonIndependentStart) {
+  Cnf cnf(2);  // both vars free
+  const auto minimal = minimize_independent_support(cnf, {0});
+  EXPECT_FALSE(minimal.has_value());
+}
+
+TEST(MinimizeSupport, ResultIsStillIndependent) {
+  Rng rng(17);
+  Circuit c;
+  std::vector<Circuit::Sig> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(c.add_input());
+  // Output uses only the first three inputs: the last two stay necessary
+  // in the support anyway (they are unconstrained, hence must be in S).
+  c.add_output(c.lor(c.land(ins[0], ins[1]), ins[2]));
+  const auto enc = tseitin_encode(c);
+  const auto minimal =
+      minimize_independent_support(enc.cnf, enc.input_vars, {}, &rng);
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_EQ(is_independent_support(enc.cnf, *minimal),
+            std::optional<bool>(true));
+  EXPECT_EQ(minimal->size(), enc.input_vars.size());  // already minimal
+}
+
+TEST(MinimizeSupport, DropsRedundantMirrors) {
+  // Mirror pairs: {0,1,2} and {3,4,5} with x_{i+3} = x_i; a minimal support
+  // has exactly one variable per pair.
+  Cnf cnf(6);
+  for (Var v = 0; v < 3; ++v) cnf.add_xor({v, v + 3}, false);
+  std::vector<Var> all{0, 1, 2, 3, 4, 5};
+  const auto minimal = minimize_independent_support(cnf, all);
+  ASSERT_TRUE(minimal.has_value());
+  EXPECT_EQ(minimal->size(), 3u);
+  EXPECT_EQ(is_independent_support(cnf, *minimal), std::optional<bool>(true));
+}
+
+}  // namespace
+}  // namespace unigen

@@ -1,0 +1,81 @@
+// Tests for ComputeKappaPivot (paper Algorithm 2) and Theorem-1 constants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kappa_pivot.hpp"
+
+namespace unigen {
+namespace {
+
+double epsilon_of(double kappa) {
+  return (1.0 + kappa) * (2.23 + 0.48 / ((1.0 - kappa) * (1.0 - kappa))) - 1.0;
+}
+
+TEST(KappaPivot, RejectsEpsilonAtOrBelowMinimum) {
+  EXPECT_THROW(compute_kappa_pivot(1.71), std::invalid_argument);
+  EXPECT_THROW(compute_kappa_pivot(1.0), std::invalid_argument);
+  EXPECT_THROW(compute_kappa_pivot(0.0), std::invalid_argument);
+  EXPECT_THROW(compute_kappa_pivot(-3.0), std::invalid_argument);
+  EXPECT_NO_THROW(compute_kappa_pivot(1.72));
+}
+
+TEST(KappaPivot, KappaSolvesDefiningEquation) {
+  for (const double eps : {1.72, 2.0, 3.0, 6.0, 10.0, 20.0}) {
+    const auto kp = compute_kappa_pivot(eps);
+    EXPECT_GE(kp.kappa, 0.0);
+    EXPECT_LT(kp.kappa, 1.0);
+    EXPECT_NEAR(epsilon_of(kp.kappa), eps, 1e-6) << "eps=" << eps;
+  }
+}
+
+TEST(KappaPivot, PivotFormula) {
+  for (const double eps : {2.0, 6.0, 16.0}) {
+    const auto kp = compute_kappa_pivot(eps);
+    const double inv = 1.0 + 1.0 / kp.kappa;
+    EXPECT_EQ(kp.pivot, static_cast<std::uint64_t>(
+                            std::ceil(3.0 * std::exp(0.5) * inv * inv)));
+  }
+}
+
+TEST(KappaPivot, PivotAtLeast17) {
+  // The appendix relies on pivot >= 17 for every admissible ε.
+  for (double eps = 1.72; eps < 60.0; eps += 0.37) {
+    EXPECT_GE(compute_kappa_pivot(eps).pivot, 17u) << "eps=" << eps;
+  }
+}
+
+TEST(KappaPivot, ThresholdsBracketPivot) {
+  for (const double eps : {1.8, 2.5, 6.0, 12.0}) {
+    const auto kp = compute_kappa_pivot(eps);
+    EXPECT_LT(kp.lo_thresh, static_cast<double>(kp.pivot));
+    EXPECT_GT(kp.hi_thresh, kp.pivot);
+    EXPECT_NEAR(kp.lo_thresh,
+                static_cast<double>(kp.pivot) / (1.0 + kp.kappa), 1e-9);
+    EXPECT_EQ(kp.hi_thresh,
+              static_cast<std::uint64_t>(std::floor(
+                  1.0 + (1.0 + kp.kappa) * static_cast<double>(kp.pivot))));
+  }
+}
+
+TEST(KappaPivot, SmallerEpsilonMeansBiggerCells) {
+  // The paper's scalability/uniformity knob: tighter ε grows hiThresh, so
+  // BSAT must enumerate more witnesses per cell.
+  const auto tight = compute_kappa_pivot(1.75);
+  const auto loose = compute_kappa_pivot(16.0);
+  EXPECT_GT(tight.pivot, loose.pivot);
+  EXPECT_GT(tight.hi_thresh, loose.hi_thresh);
+}
+
+TEST(KappaPivot, PaperEpsilon6Regression) {
+  // The configuration used throughout the paper's experiments.
+  const auto kp = compute_kappa_pivot(6.0);
+  EXPECT_NEAR(kp.kappa, 0.547, 0.01);
+  EXPECT_EQ(kp.pivot, 40u);
+  EXPECT_EQ(kp.hi_thresh, 62u);
+  EXPECT_NEAR(kp.lo_thresh, 25.8, 0.3);
+}
+
+}  // namespace
+}  // namespace unigen

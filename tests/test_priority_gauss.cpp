@@ -1,0 +1,176 @@
+// Tests for projection-aware branching and the priority-local XOR
+// reduction (Solver::reduce_priority_local_xors) — the machinery that makes
+// BSAT on hash-constrained formulas tractable.  Correctness is the point
+// here: replacing the S-local XOR rows by their reduced basis and removing
+// pivots from branching must never change the solution space.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "hashing/xor_hash.hpp"
+#include "sat/enumerator.hpp"
+
+namespace unigen {
+namespace {
+
+using test::brute_force_count;
+using test::brute_force_projected_count;
+using test::random_cnf;
+
+TEST(PriorityBranching, VerdictUnchanged) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const Cnf cnf = random_cnf(10, 42, 3, rng);
+    Solver plain;
+    plain.load(cnf);
+    const lbool expect = plain.solve();
+
+    Solver prio;
+    prio.set_priority_vars({0, 1, 2, 3});
+    prio.load(cnf);
+    EXPECT_EQ(prio.solve(), expect) << "round " << round;
+  }
+}
+
+TEST(PriorityBranching, ModelStillValid) {
+  Rng rng(11);
+  const Cnf cnf = random_cnf(12, 30, 3, rng);
+  Solver s;
+  s.set_priority_vars({2, 3, 5, 7, 11});
+  s.load(cnf);
+  ASSERT_EQ(s.solve(), lbool::True);
+  EXPECT_TRUE(cnf.satisfied_by(s.model()));
+}
+
+/// Random formula with XOR rows drawn over a designated sampling set —
+/// exactly the shape UniGen's hashed queries have.
+Cnf hashed_shape_formula(Var n, const std::vector<Var>& s, std::size_t m,
+                         Rng& rng) {
+  Cnf cnf = random_cnf(n, static_cast<std::size_t>(n) * 2, 3, rng);
+  const XorHash h = draw_xor_hash(s, m, rng);
+  h.conjoin_to(cnf);
+  cnf.set_sampling_set(s);
+  return cnf;
+}
+
+class PriorityGaussFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityGaussFuzz, ProjectedCountsSurviveReduction) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2917 + 3);
+  const std::vector<Var> s{0, 1, 2, 3, 4, 5};
+  for (std::size_t m : {1u, 3u, 5u, 7u}) {
+    const Cnf cnf = hashed_shape_formula(10, s, m, rng);
+    const std::uint64_t expect = brute_force_projected_count(cnf, s);
+
+    Solver solver;
+    solver.load(cnf);
+    EnumerateOptions opts;
+    opts.projection = s;  // enumerate_models sets the priority vars
+    opts.store_models = true;
+    const auto result = enumerate_models(solver, opts);
+    ASSERT_TRUE(result.exhausted);
+    EXPECT_EQ(result.count, expect)
+        << "seed=" << GetParam() << " m=" << m;
+    for (const auto& model : result.models)
+      EXPECT_TRUE(cnf.satisfied_by(model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PriorityGaussFuzz,
+                         ::testing::Range(0, 20));
+
+class PriorityGaussMixedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityGaussMixedFuzz, MixedLocalAndGlobalXors) {
+  // XOR rows both inside and straddling the priority set: only the local
+  // ones are eligible for basis replacement; the rest must stay intact.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 193 + 7);
+  const std::vector<Var> s{0, 1, 2, 3};
+  Cnf cnf = random_cnf(9, 16, 3, rng);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Var> local;
+    for (const Var v : s)
+      if (rng.flip()) local.push_back(v);
+    if (local.empty()) local.push_back(s[0]);
+    cnf.add_xor(std::move(local), rng.flip());
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Var> global;
+    for (Var v = 0; v < 9; ++v)
+      if (rng.flip()) global.push_back(v);
+    if (global.empty()) global.push_back(8);
+    cnf.add_xor(std::move(global), rng.flip());
+  }
+  const std::uint64_t expect = brute_force_projected_count(cnf, s);
+
+  Solver solver;
+  solver.load(cnf);
+  EnumerateOptions opts;
+  opts.projection = s;
+  opts.store_models = false;
+  const auto result = enumerate_models(solver, opts);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, expect) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PriorityGaussMixedFuzz,
+                         ::testing::Range(0, 20));
+
+TEST(PriorityGauss, InconsistentLocalSystemIsUnsat) {
+  Cnf cnf(6);
+  cnf.add_clause({Lit(4, false), Lit(5, false)});
+  cnf.add_xor({0, 1}, true);
+  cnf.add_xor({1, 2}, true);
+  cnf.add_xor({0, 2}, true);  // sums to 0 = 1
+  Solver solver;
+  solver.set_priority_vars({0, 1, 2});
+  solver.load(cnf);
+  EXPECT_EQ(solver.solve(), lbool::False);
+}
+
+TEST(PriorityGauss, AllXorsOutsidePrioritySetStillWork) {
+  // Regression: when no XOR row is local to the priority set, the rows
+  // must survive the (aborted) partitioning untouched.
+  Cnf cnf(8);
+  cnf.add_xor({4, 5, 6}, true);
+  cnf.add_xor({5, 6, 7}, false);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  const std::uint64_t expect = brute_force_count(cnf);
+
+  Solver solver;
+  solver.set_priority_vars({0, 1});
+  solver.load(cnf);
+  EnumerateOptions opts;
+  opts.store_models = false;
+  // Full enumeration over all vars, but priority on {0,1}.
+  const auto result = enumerate_models(solver, opts);
+  ASSERT_TRUE(result.exhausted);
+  EXPECT_EQ(result.count, expect);
+}
+
+TEST(PriorityGauss, RepeatedSolvesAfterReduction) {
+  // The reduction runs once; later incremental solves (blocking clauses,
+  // assumptions) must behave normally.
+  Rng rng(23);
+  const std::vector<Var> s{0, 1, 2, 3, 4};
+  const Cnf cnf = hashed_shape_formula(9, s, 2, rng);
+  Solver solver;
+  solver.load(cnf);
+  EnumerateOptions opts;
+  opts.projection = s;
+  opts.max_models = 2;
+  opts.store_models = true;
+  const auto first = enumerate_models(solver, opts);
+  if (first.count == 2) {
+    // Keep going on the same solver: still sound.
+    EnumerateOptions more;
+    more.projection = s;
+    more.store_models = true;
+    const auto rest = enumerate_models(solver, more);
+    EXPECT_TRUE(rest.exhausted);
+    EXPECT_EQ(first.count + rest.count, brute_force_projected_count(cnf, s));
+  }
+}
+
+}  // namespace
+}  // namespace unigen

@@ -1,0 +1,128 @@
+// Tests for the seedable RNG: determinism, range contracts, coarse
+// statistical sanity.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 60)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng r(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = r.between(5, 8);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 8u);
+  }
+  // All four values should appear.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.between(5, 8));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(13);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, FlipIsFair) {
+  Rng r(17);
+  int heads = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) heads += r.flip();
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(19);
+  constexpr int kDraws = 100000;
+  for (const double p : {0.1, 0.25, 0.75}) {
+    int hits = 0;
+    for (int i = 0; i < kDraws; ++i) hits += r.flip(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(21);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(29);
+  std::vector<int> v(20);
+  for (int i = 0; i < 20; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  r.shuffle(w);
+  EXPECT_NE(v, w);  // probability 1/20! of spurious failure
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == child()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace unigen

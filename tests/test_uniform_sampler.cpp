@@ -1,0 +1,94 @@
+// Tests for the ideal US baseline (exact counter + uniform index).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/uniform_sampler.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(UniformSampler, CountMatchesBruteForce) {
+  Rng formula_rng(1);
+  for (int round = 0; round < 8; ++round) {
+    const Cnf cnf = test::random_cnf(9, 20, 3, formula_rng);
+    Rng rng(static_cast<std::uint64_t>(round));
+    UniformSampler us(cnf, {}, rng);
+    ASSERT_TRUE(us.prepare());
+    EXPECT_EQ(us.count(), BigUint(test::brute_force_count(cnf)));
+  }
+}
+
+TEST(UniformSampler, UnsatReportsUnsat) {
+  Cnf cnf(1);
+  cnf.add_clause({Lit(0, false)});
+  cnf.add_clause({Lit(0, true)});
+  Rng rng(2);
+  UniformSampler us(cnf, {}, rng);
+  ASSERT_TRUE(us.prepare());
+  EXPECT_TRUE(us.count().is_zero());
+  EXPECT_EQ(us.sample().status, SampleResult::Status::kUnsat);
+}
+
+TEST(UniformSampler, MaterializedSamplesAreValidAndUniform) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});  // 7 models
+  Rng rng(3);
+  UniformSampler us(cnf, {}, rng);
+  ASSERT_TRUE(us.prepare());
+  ASSERT_TRUE(us.materialized());
+  std::map<std::vector<int>, int> histogram;
+  const int kSamples = 7000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto r = us.sample();
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(cnf.satisfied_by(r.witness));
+    std::vector<int> key;
+    for (const auto v : r.witness) key.push_back(static_cast<int>(v));
+    ++histogram[key];
+  }
+  ASSERT_EQ(histogram.size(), 7u);
+  for (const auto& [key, count] : histogram)
+    EXPECT_NEAR(static_cast<double>(count), kSamples / 7.0,
+                4.0 * std::sqrt(kSamples / 7.0));
+}
+
+TEST(UniformSampler, SampleIndexStaysBelowCount) {
+  Rng formula_rng(5);
+  const Cnf cnf = test::random_cnf(10, 18, 3, formula_rng);
+  Rng rng(7);
+  UniformSampler us(cnf, {}, rng);
+  ASSERT_TRUE(us.prepare());
+  ASSERT_FALSE(us.count().is_zero());
+  for (int i = 0; i < 500; ++i) EXPECT_LT(us.sample_index(), us.count());
+}
+
+TEST(UniformSampler, IndexOnlyModeForLargeSpaces) {
+  // 2^30 models: too many to materialize, count still exact.
+  Cnf cnf(30);
+  Rng rng(9);
+  UniformSamplerOptions opts;
+  opts.materialize_bound = 1024;
+  UniformSampler us(cnf, opts, rng);
+  ASSERT_TRUE(us.prepare());
+  EXPECT_FALSE(us.materialized());
+  EXPECT_EQ(us.count(), BigUint::pow2(30));
+  EXPECT_EQ(us.sample().status, SampleResult::Status::kFail);
+  EXPECT_LT(us.sample_index(), us.count());
+}
+
+TEST(UniformSampler, XorFormulaCount) {
+  Cnf cnf(12);
+  cnf.add_xor({0, 1, 2, 3, 4}, true);
+  cnf.add_xor({4, 5, 6}, false);
+  Rng rng(11);
+  UniformSampler us(cnf, {}, rng);
+  ASSERT_TRUE(us.prepare());
+  EXPECT_EQ(us.count(), BigUint::pow2(10));
+}
+
+}  // namespace
+}  // namespace unigen

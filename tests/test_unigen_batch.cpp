@@ -1,0 +1,109 @@
+// Tests for the UniGen2-style batched sampling extension.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/unigen.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+Cnf hashed_mode_formula() {
+  Cnf cnf(10);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  cnf.add_clause({Lit(3, false), Lit(4, true)});
+  cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+  cnf.add_clause({Lit(8, false), Lit(9, false), Lit(0, true)});
+  return cnf;
+}
+
+std::vector<int> key_of(const Model& m) {
+  std::vector<int> key;
+  for (const auto v : m) key.push_back(static_cast<int>(v));
+  return key;
+}
+
+TEST(UniGenBatch, EmptyRequestYieldsNothing) {
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  Rng rng(1);
+  UniGen sampler(cnf, {}, rng);
+  EXPECT_TRUE(sampler.sample_batch(0).empty());
+}
+
+TEST(UniGenBatch, TrivialModeBatchIsDistinctAndValid) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});  // 7 models
+  Rng rng(2);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  for (const std::size_t want : {1u, 3u, 7u, 20u}) {
+    const auto batch = sampler.sample_batch(want);
+    EXPECT_EQ(batch.size(), std::min<std::size_t>(want, 7));
+    std::set<std::vector<int>> distinct;
+    for (const auto& m : batch) {
+      EXPECT_TRUE(cnf.satisfied_by(m));
+      distinct.insert(key_of(m));
+    }
+    EXPECT_EQ(distinct.size(), batch.size());
+  }
+}
+
+TEST(UniGenBatch, HashedModeBatchIsDistinctAndValid) {
+  const Cnf cnf = hashed_mode_formula();
+  Rng rng(3);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  int produced = 0;
+  for (int round = 0; round < 20 && produced == 0; ++round) {
+    const auto batch = sampler.sample_batch(8);
+    produced += static_cast<int>(batch.size());
+    std::set<std::vector<int>> distinct;
+    for (const auto& m : batch) {
+      EXPECT_TRUE(cnf.satisfied_by(m));
+      distinct.insert(key_of(m));
+    }
+    EXPECT_EQ(distinct.size(), batch.size());
+    EXPECT_LE(batch.size(), 8u);
+  }
+  EXPECT_GT(produced, 0);
+}
+
+TEST(UniGenBatch, BatchRespectsCellBound) {
+  // max_batch larger than any cell: batch size is bounded by hiThresh.
+  const Cnf cnf = hashed_mode_formula();
+  Rng rng(5);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  const auto batch = sampler.sample_batch(10000);
+  EXPECT_LE(batch.size(), sampler.stats().hi_thresh);
+}
+
+TEST(UniGenBatch, UnsatYieldsEmpty) {
+  Cnf cnf(1);
+  cnf.add_clause({Lit(0, false)});
+  cnf.add_clause({Lit(0, true)});
+  Rng rng(7);
+  UniGen sampler(cnf, {}, rng);
+  EXPECT_TRUE(sampler.sample_batch(5).empty());
+}
+
+TEST(UniGenBatch, BatchCoverageAccumulates) {
+  // Batches from many cells eventually cover most of the witness space.
+  const Cnf cnf = hashed_mode_formula();
+  const auto truth = test::brute_force_models(cnf);
+  Rng rng(11);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  std::set<std::vector<int>> seen;
+  for (int round = 0; round < 400; ++round) {
+    for (const auto& m : sampler.sample_batch(10)) seen.insert(key_of(m));
+  }
+  EXPECT_GE(static_cast<double>(seen.size()),
+            0.8 * static_cast<double>(truth.size()));
+}
+
+}  // namespace
+}  // namespace unigen

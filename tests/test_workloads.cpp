@@ -1,0 +1,211 @@
+// Tests for the benchmark generators: satisfiability, sampling-set shape,
+// known counts, determinism.
+
+#include <gtest/gtest.h>
+
+#include "counting/exact_counter.hpp"
+#include "sat/enumerator.hpp"
+#include "sat/solver.hpp"
+#include "support/independent_support.hpp"
+#include "workloads/circuits.hpp"
+#include "workloads/sketch.hpp"
+#include "workloads/squaring.hpp"
+#include "workloads/suite.hpp"
+
+namespace unigen {
+namespace {
+
+using namespace workloads;
+
+TEST(CircuitBench, SatisfiableWithExpectedSupport) {
+  CircuitParityOptions opts;
+  opts.state_bits = 12;
+  opts.input_bits = 6;
+  opts.rounds = 2;
+  opts.parity_constraints = 4;
+  opts.seed = 42;
+  const Cnf cnf = make_circuit_parity_bench(opts, "probe");
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(cnf.sampling_set()->size(), 18u);  // state + inputs
+  EXPECT_GT(cnf.num_vars(), 18);               // Tseitin core on top
+  Solver s;
+  s.load(cnf);
+  EXPECT_EQ(s.solve(), lbool::True);
+}
+
+TEST(CircuitBench, DeterministicPerSeed) {
+  CircuitParityOptions opts;
+  opts.seed = 7;
+  const Cnf a = make_circuit_parity_bench(opts, "a");
+  const Cnf b = make_circuit_parity_bench(opts, "b");
+  EXPECT_EQ(a.num_vars(), b.num_vars());
+  EXPECT_EQ(a.clauses(), b.clauses());
+  opts.seed = 8;
+  const Cnf c = make_circuit_parity_bench(opts, "c");
+  EXPECT_NE(a.clauses(), c.clauses());
+}
+
+TEST(AffineBench, CountMatchesEnumeration) {
+  AffineParityOptions opts;
+  opts.input_bits = 12;
+  opts.rounds = 2;
+  opts.parity_constraints = 5;
+  opts.seed = 3;
+  const AffineParityBench bench = make_affine_parity_bench(opts, "affine");
+  ASSERT_FALSE(bench.witness_count.is_zero());
+  Solver s;
+  s.load(bench.cnf);
+  EnumerateOptions eopts;
+  eopts.store_models = false;
+  eopts.projection = bench.cnf.sampling_set_or_all();
+  const auto r = enumerate_models(s, eopts);
+  ASSERT_TRUE(r.exhausted);
+  EXPECT_EQ(BigUint(r.count), bench.witness_count);
+}
+
+TEST(AffineBench, CountMatchesExactCounterProjected) {
+  AffineParityOptions opts;
+  opts.input_bits = 10;
+  opts.rounds = 3;
+  opts.parity_constraints = 4;
+  opts.seed = 9;
+  const AffineParityBench bench = make_affine_parity_bench(opts, "affine2");
+  // The exact counter counts over all variables; Tseitin auxiliaries are
+  // defined, so the total equals the projected count.
+  ExactCounter counter;
+  const auto counted = counter.count(bench.cnf);
+  ASSERT_TRUE(counted.has_value());
+  EXPECT_EQ(*counted, bench.witness_count);
+}
+
+TEST(AffineBench, Case110LikeHas16384Witnesses) {
+  const AffineParityBench bench = make_case110_like(20, 6);
+  EXPECT_EQ(bench.rank, 6u);
+  EXPECT_EQ(bench.witness_count, BigUint::pow2(14));  // 16384, as in Fig. 1
+  Solver s;
+  s.load(bench.cnf);
+  EXPECT_EQ(s.solve(), lbool::True);
+}
+
+TEST(SquaringBench, SatisfiableWithSupport72) {
+  SquaringOptions opts;
+  opts.operand_bits = 36;
+  opts.seed = 7;
+  const Cnf cnf = make_squaring_bench(opts, "squaring");
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(cnf.sampling_set()->size(), 72u);  // as in the paper's rows
+  EXPECT_GT(cnf.num_vars(), 800);
+  Solver s;
+  s.load(cnf);
+  EXPECT_EQ(s.solve(), lbool::True);
+}
+
+TEST(SquaringBench, SmallInstanceCountIsPlausible) {
+  // Tiny squaring instance: count the preimage by enumeration and check
+  // it is nontrivial (neither empty nor the full input space).
+  SquaringOptions opts;
+  opts.operand_bits = 5;
+  opts.product_bits = 8;
+  opts.constrained_bits = 4;
+  opts.seed = 3;
+  const Cnf cnf = make_squaring_bench(opts, "sq_small");
+  Solver s;
+  s.load(cnf);
+  EnumerateOptions eopts;
+  eopts.store_models = false;
+  eopts.projection = cnf.sampling_set_or_all();
+  const auto r = enumerate_models(s, eopts);
+  ASSERT_TRUE(r.exhausted);
+  EXPECT_GT(r.count, 0u);
+  EXPECT_LT(r.count, 1u << 10);
+}
+
+TEST(SketchBench, CountKnownByConstruction) {
+  SketchOptions opts;
+  opts.spec_input_bits = 4;
+  opts.selector_bits = 6;
+  opts.mode_bits = 5;
+  opts.threshold = 11;
+  opts.seed = 5;
+  const SketchBench bench = make_sketch_bench(opts, "sketch_small");
+  // classes = min(4,6) = 4: valid selectors = 2^2; count = 11 * 4 = 44.
+  EXPECT_EQ(bench.witness_count, BigUint(44));
+  Solver s;
+  s.load(bench.cnf);
+  EnumerateOptions eopts;
+  eopts.store_models = false;
+  eopts.projection = bench.cnf.sampling_set_or_all();
+  const auto r = enumerate_models(s, eopts);
+  ASSERT_TRUE(r.exhausted);
+  EXPECT_EQ(BigUint(r.count), bench.witness_count);
+}
+
+TEST(SketchBench, SamplingSetIsControlWords) {
+  SketchOptions opts;
+  opts.spec_input_bits = 5;
+  opts.selector_bits = 9;
+  opts.mode_bits = 7;
+  opts.threshold = 100;
+  const SketchBench bench = make_sketch_bench(opts, "sketch_mid");
+  ASSERT_TRUE(bench.cnf.sampling_set().has_value());
+  EXPECT_EQ(bench.cnf.sampling_set()->size(), 16u);  // |c| + |d|
+  // Huge dependent Tseitin core relative to the sampling set.
+  EXPECT_GT(bench.cnf.num_vars(), 400);
+}
+
+TEST(SketchBench, SamplingSetIsIndependentSupport) {
+  SketchOptions opts;
+  opts.spec_input_bits = 4;
+  opts.selector_bits = 5;
+  opts.mode_bits = 4;
+  opts.threshold = 9;
+  const SketchBench bench = make_sketch_bench(opts, "sketch_tiny");
+  const auto verdict = is_independent_support(
+      bench.cnf, *bench.cnf.sampling_set());
+  EXPECT_EQ(verdict, std::optional<bool>(true));
+}
+
+TEST(SketchBench, RejectsBadParameters) {
+  SketchOptions opts;
+  opts.threshold = 0;
+  EXPECT_THROW(make_sketch_bench(opts, "bad"), std::invalid_argument);
+  opts.threshold = 10;
+  opts.mode_bits = 2;  // threshold 10 > 2^2
+  EXPECT_THROW(make_sketch_bench(opts, "bad2"), std::invalid_argument);
+}
+
+TEST(Suite, Table1HasTwelveRows) {
+  const auto suite = make_table1_suite(0.05);
+  ASSERT_EQ(suite.size(), 12u);
+  for (const auto& row : suite) {
+    EXPECT_FALSE(row.name.empty());
+    EXPECT_FALSE(row.paper_ref.empty());
+    EXPECT_TRUE(row.cnf.sampling_set().has_value()) << row.name;
+    EXPECT_GT(row.cnf.num_vars(), 0) << row.name;
+  }
+  // tutorial3_like must dwarf the circuit rows in |X| while having a
+  // comparable |S| — the paper's scaling story.
+  const auto& tutorial = suite.back();
+  EXPECT_EQ(tutorial.name, "tutorial3_like");
+  EXPECT_GT(tutorial.cnf.num_vars(), 10000);
+  EXPECT_LE(tutorial.cnf.sampling_set()->size(), 32u);
+}
+
+TEST(Suite, Table2HasThirtyOneRows) {
+  const auto suite = make_table2_suite(0.05);
+  EXPECT_EQ(suite.size(), 31u);
+}
+
+TEST(Suite, ScaleShrinksSketchRows) {
+  const auto small = make_table1_suite(0.05);
+  const auto large = make_table1_suite(0.2);
+  // Same row (tutorial3_like), bigger spec at larger scale.
+  EXPECT_LT(small.back().cnf.num_vars(), large.back().cnf.num_vars());
+}
+
+TEST(Suite, EnvScaleParsing) {
+  EXPECT_EQ(bench_scale_from_env(0.25), 0.25);  // unset: fallback
+}
+
+}  // namespace
+}  // namespace unigen

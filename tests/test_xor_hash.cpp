@@ -1,0 +1,173 @@
+// Tests for the H_xor(n, m, 3) hash family: row statistics, partition
+// semantics, and pairwise-independence-style balance properties the
+// algorithms rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "hashing/xor_hash.hpp"
+#include "helpers.hpp"
+#include "sat/enumerator.hpp"
+
+namespace unigen {
+namespace {
+
+std::vector<Var> iota_vars(Var n) {
+  std::vector<Var> v(static_cast<std::size_t>(n));
+  for (Var i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+Model model_from_bits(std::uint64_t bits, Var n) {
+  Model m(static_cast<std::size_t>(n));
+  for (Var v = 0; v < n; ++v)
+    m[static_cast<std::size_t>(v)] =
+        ((bits >> v) & 1u) ? lbool::True : lbool::False;
+  return m;
+}
+
+TEST(XorHash, DrawsRequestedRowCount) {
+  Rng rng(61);
+  const auto h = draw_xor_hash(iota_vars(20), 7, rng);
+  EXPECT_EQ(h.m(), 7u);
+  EXPECT_EQ(h.rows.size(), 7u);
+}
+
+TEST(XorHash, RowsOnlyUseGivenVariables) {
+  Rng rng(63);
+  const std::vector<Var> s{2, 5, 7, 11};
+  const auto h = draw_xor_hash(s, 10, rng);
+  for (const auto& row : h.rows) {
+    for (const Var v : row.vars) {
+      EXPECT_TRUE(std::find(s.begin(), s.end(), v) != s.end());
+    }
+  }
+}
+
+TEST(XorHash, AverageRowLengthIsHalfTheSupport) {
+  // E[row length] = n/2: the paper's scalability argument in one number.
+  Rng rng(65);
+  const Var n = 100;
+  double total = 0;
+  const int kDraws = 200;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto h = draw_xor_hash(iota_vars(n), 5, rng);
+    total += h.average_row_length();
+  }
+  EXPECT_NEAR(total / kDraws, n / 2.0, 2.0);
+}
+
+TEST(XorHash, CellOfIsConsistentWithConjoinedFormula) {
+  // Models of F ∧ (h = α) are exactly the models of F with
+  // in_target_cell() true.
+  Rng rng(67);
+  Cnf cnf = test::random_cnf(8, 12, 3, rng);
+  const auto base_models = test::brute_force_models(cnf);
+  ASSERT_GT(base_models.size(), 0u);
+  const auto h = draw_xor_hash(iota_vars(8), 3, rng);
+  Cnf hashed = cnf;
+  h.conjoin_to(hashed);
+  const auto hashed_models = test::brute_force_models(hashed);
+  std::size_t expected = 0;
+  for (const auto& m : base_models)
+    if (h.in_target_cell(m)) ++expected;
+  EXPECT_EQ(hashed_models.size(), expected);
+  for (const auto& m : hashed_models) EXPECT_TRUE(h.in_target_cell(m));
+}
+
+TEST(XorHash, CellsPartitionTheSpace) {
+  // Summing cell populations over all 2^m cells recovers the whole space.
+  Rng rng(71);
+  const Var n = 10;
+  const std::size_t m = 3;
+  const auto h = draw_xor_hash(iota_vars(n), m, rng);
+  std::map<std::uint64_t, std::uint64_t> cells;
+  for (std::uint64_t bits = 0; bits < (1u << n); ++bits)
+    ++cells[h.cell_of(model_from_bits(bits, n))];
+  std::uint64_t total = 0;
+  for (const auto& [cell, count] : cells) {
+    EXPECT_LT(cell, 1u << m);
+    total += count;
+  }
+  EXPECT_EQ(total, 1u << n);
+}
+
+TEST(XorHash, CellSizesAreBalancedOnAverage) {
+  // E[|cell|] = 2^(n-m); also check concentration loosely across draws.
+  Rng rng(73);
+  const Var n = 10;
+  const std::size_t m = 4;
+  double total_target_cell = 0;
+  const int kDraws = 150;
+  for (int d = 0; d < kDraws; ++d) {
+    const auto h = draw_xor_hash(iota_vars(n), m, rng);
+    std::uint64_t target = 0;
+    for (std::uint64_t bits = 0; bits < (1u << n); ++bits)
+      if (h.in_target_cell(model_from_bits(bits, n))) ++target;
+    total_target_cell += static_cast<double>(target);
+  }
+  const double expected = std::pow(2.0, n - static_cast<double>(m));
+  EXPECT_NEAR(total_target_cell / kDraws, expected, expected * 0.15);
+}
+
+TEST(XorHash, PairwiseCollisionProbability) {
+  // For fixed distinct y, z: Pr[h(y) = h(z)] = 2^-m (2-wise independence).
+  Rng rng(79);
+  const Var n = 12;
+  const std::size_t m = 3;
+  const Model y = model_from_bits(0x2a5, n);
+  const Model z = model_from_bits(0x13c, n);
+  int collisions = 0;
+  const int kDraws = 8000;
+  for (int d = 0; d < kDraws; ++d) {
+    const auto h = draw_xor_hash(iota_vars(n), m, rng);
+    if (h.cell_of(y) == h.cell_of(z)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / kDraws, 1.0 / (1u << m),
+              0.015);
+}
+
+TEST(XorHash, SingleAssignmentCellIsUniform) {
+  // For fixed y: Pr[y in target cell] = 2^-m.
+  Rng rng(83);
+  const Var n = 12;
+  const std::size_t m = 2;
+  const Model y = model_from_bits(0x0f0, n);
+  int hits = 0;
+  const int kDraws = 8000;
+  for (int d = 0; d < kDraws; ++d) {
+    const auto h = draw_xor_hash(iota_vars(n), m, rng);
+    if (h.in_target_cell(y)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.02);
+}
+
+TEST(XorHash, ConjoinedEnumerationMatchesBruteForce) {
+  Rng rng(89);
+  for (int round = 0; round < 8; ++round) {
+    Cnf cnf = test::random_cnf(9, 14, 3, rng);
+    const auto h = draw_xor_hash(iota_vars(9), 2 + round % 3, rng);
+    Cnf hashed = cnf;
+    h.conjoin_to(hashed);
+    const auto result = bsat(hashed, UINT64_MAX);
+    ASSERT_TRUE(result.exhausted);
+    EXPECT_EQ(result.count, test::brute_force_count(hashed))
+        << "round " << round;
+  }
+}
+
+TEST(XorHash, ZeroRowsHashIsIdentityConstraint) {
+  Rng rng(97);
+  const auto h = draw_xor_hash(iota_vars(5), 0, rng);
+  EXPECT_EQ(h.m(), 0u);
+  EXPECT_TRUE(h.in_target_cell(model_from_bits(7, 5)));
+  Cnf cnf(5);
+  cnf.add_clause({Lit(0, false)});
+  h.conjoin_to(cnf);
+  EXPECT_EQ(cnf.num_xors(), 0u);
+}
+
+}  // namespace
+}  // namespace unigen

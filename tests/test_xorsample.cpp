@@ -1,0 +1,94 @@
+// Tests for the XORSample' baseline.
+
+#include <gtest/gtest.h>
+
+#include "core/xorsample.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+Cnf medium_formula() {
+  Cnf cnf(10);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  cnf.add_clause({Lit(3, false), Lit(4, true)});
+  cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+  return cnf;
+}
+
+TEST(XorSample, ValidWitnessesWithGoodS) {
+  const Cnf cnf = medium_formula();  // ~600 witnesses, log2 ≈ 9.2
+  Rng rng(1);
+  XorSampleOptions opts;
+  opts.s = 6;  // cells of expected size ~9
+  XorSamplePrime sampler(cnf, opts, rng);
+  int ok = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto r = sampler.sample();
+    if (r.ok()) {
+      ++ok;
+      EXPECT_TRUE(cnf.satisfied_by(r.witness));
+    }
+  }
+  EXPECT_GT(ok, 50);
+}
+
+TEST(XorSample, TooSmallSOverflowsCellBound) {
+  const Cnf cnf = medium_formula();
+  Rng rng(2);
+  XorSampleOptions opts;
+  opts.s = 1;          // cells of expected size ~300
+  opts.cell_bound = 8; // force the "s too small" failure
+  XorSamplePrime sampler(cnf, opts, rng);
+  int failures = 0;
+  for (int i = 0; i < 20; ++i)
+    failures += sampler.sample().status == SampleResult::Status::kFail;
+  EXPECT_GT(failures, 15);
+}
+
+TEST(XorSample, TooLargeSYieldsEmptyCells) {
+  const Cnf cnf = medium_formula();
+  Rng rng(3);
+  XorSampleOptions opts;
+  opts.s = 25;  // cells of expected size 600/2^25 ~ 0
+  XorSamplePrime sampler(cnf, opts, rng);
+  int failures = 0;
+  for (int i = 0; i < 20; ++i)
+    failures += sampler.sample().status == SampleResult::Status::kFail;
+  EXPECT_GT(failures, 15);
+}
+
+TEST(XorSample, ShortXorKnobShrinksRows) {
+  const Cnf cnf = medium_formula();
+  Rng rng(4);
+  XorSampleOptions dense;
+  dense.s = 5;
+  XorSamplePrime d(cnf, dense, rng);
+  for (int i = 0; i < 50; ++i) d.sample();
+
+  Rng rng2(5);
+  XorSampleOptions sparse;
+  sparse.s = 5;
+  sparse.q = 0.15;  // the SAT'07 short-XOR variant
+  XorSamplePrime sp(cnf, sparse, rng2);
+  for (int i = 0; i < 50; ++i) sp.sample();
+
+  EXPECT_NEAR(d.stats().average_xor_length(), 5.0, 1.0);
+  EXPECT_NEAR(sp.stats().average_xor_length(), 1.5, 0.7);
+}
+
+TEST(XorSample, StatsTrackOutcomes) {
+  const Cnf cnf = medium_formula();
+  Rng rng(6);
+  XorSampleOptions opts;
+  opts.s = 6;
+  XorSamplePrime sampler(cnf, opts, rng);
+  for (int i = 0; i < 30; ++i) sampler.sample();
+  const auto& st = sampler.stats();
+  EXPECT_EQ(st.samples_requested, 30u);
+  EXPECT_EQ(st.samples_requested,
+            st.samples_ok + st.samples_failed + st.samples_timed_out);
+}
+
+}  // namespace
+}  // namespace unigen
