@@ -1,12 +1,17 @@
 // Micro-benchmarks (google-benchmark) for hashing and counting: drawing
-// hash functions, exact counting, and ApproxMC.
+// hash functions, exact counting, and ApproxMC.  After the benchmark suite
+// runs, a fixed hashed-counting workload is measured once and written to
+// BENCH_hash_count.json (wall-clock + BSAT-call + solver-rebuild counters)
+// so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "counting/approxmc.hpp"
 #include "counting/exact_counter.hpp"
 #include "hashing/xor_hash.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -71,6 +76,37 @@ void BM_ApproxMcFreeVars(benchmark::State& state) {
 BENCHMARK(BM_ApproxMcFreeVars)->Arg(16)->Arg(24)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
+void write_hash_count_json() {
+  // Fixed reference workload: ApproxMC over 20 free variables (2^20
+  // models), fully hashed path.
+  Cnf cnf(20);
+  cnf.add_clause({Lit(0, false), Lit(0, true)});
+  Rng rng(17);
+  ApproxMcOptions opts;
+  Stopwatch watch;
+  const ApproxMcResult r = approx_count(cnf, opts, rng);
+  const double wall = watch.seconds();
+
+  unigen::bench::BenchJson json;
+  json.add("bench", "micro_hash_count");
+  json.add("workload", "approxmc_free_vars_20");
+  json.add("wall_s", wall);
+  json.add("valid", static_cast<std::uint64_t>(r.valid ? 1 : 0));
+  json.add("log2_estimate", r.valid ? r.log2_value() : 0.0);
+  json.add("bsat_calls", r.bsat_calls);
+  json.add("solver_rebuilds", r.solver_rebuilds);
+  json.add("reused_solves", r.reused_solves);
+  json.add("retracted_blocks", r.retracted_blocks);
+  json.write("BENCH_hash_count.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_hash_count_json();
+  return 0;
+}

@@ -12,6 +12,7 @@
 //   UNIGEN_PREPARE_TIMEOUT_S  UniGen prepare budget         (default 120)
 //   UNIGEN_SAMPLE_TIMEOUT_S   per-witness budget            (default 20)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -22,6 +23,52 @@
 #include "workloads/suite.hpp"
 
 namespace unigen::bench {
+
+/// Minimal flat-JSON emitter for machine-readable bench results
+/// (BENCH_*.json), so the perf trajectory can be tracked across PRs:
+/// wall-clock, BSAT-call and solver-rebuild counters per bench.
+class BenchJson {
+ public:
+  void add(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    field(key, buf, /*quote=*/false);
+  }
+  void add(const char* key, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    field(key, buf, /*quote=*/false);
+  }
+  void add(const char* key, const char* v) { field(key, v, /*quote=*/true); }
+
+  std::string str() const { return "{" + body_ + "}\n"; }
+
+  /// Writes `{...}` to `path`; returns false (and warns) on I/O failure.
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path);
+      return false;
+    }
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  void field(const char* key, const char* value, bool quote) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"";
+    body_ += key;
+    body_ += "\":";
+    if (quote) body_ += "\"";
+    body_ += value;
+    if (quote) body_ += "\"";
+  }
+  std::string body_;
+};
 
 inline double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);

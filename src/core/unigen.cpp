@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "hashing/xor_hash.hpp"
-#include "sat/enumerator.hpp"
 #include "util/timer.hpp"
 
 namespace unigen {
@@ -14,6 +13,14 @@ UniGen::UniGen(Cnf cnf, UniGenOptions options, Rng& rng)
       sampling_set_(cnf_.sampling_set_or_all()),
       options_(options),
       rng_(rng) {}
+
+void UniGen::sync_engine_stats() {
+  if (!engine_) return;
+  const SolverStats st = engine_->stats();
+  stats_.solver_rebuilds = st.solver_rebuilds;
+  stats_.reused_solves = st.reused_solves;
+  stats_.retracted_blocks = st.retracted_blocks;
+}
 
 bool UniGen::prepare() {
   if (mode_ != Mode::kUnprepared) return mode_ != Mode::kTimedOut;
@@ -28,29 +35,31 @@ bool UniGen::prepare() {
   stats_.lo_thresh = kp_.lo_thresh;
 
   // Lines 4–7: the easy case — enumerate up to hiThresh+1 witnesses; when
-  // at most hiThresh exist, uniform sampling is exact.
+  // at most hiThresh exist, uniform sampling is exact.  This builds the
+  // persistent engine that every later accept_cell reuses; the blocking
+  // clauses of the check are retracted, so the hashed queries start from
+  // the unblocked formula plus whatever the solver learnt here.
+  engine_ = std::make_unique<IncrementalBsat>(cnf_, sampling_set_);
   {
-    Solver solver;
-    solver.load(cnf_);
-    EnumerateOptions eopts;
-    eopts.max_models = kp_.hi_thresh + 1;
-    eopts.deadline = deadline;
-    eopts.projection = sampling_set_;
-    eopts.store_models = true;
-    const EnumerateResult r = enumerate_models(solver, eopts);
+    EnumerateResult r =
+        engine_->enumerate_cell(0, kp_.hi_thresh + 1, deadline, true);
     ++stats_.prepare_bsat_calls;
+    sync_engine_stats();
     if (r.timed_out) {
       mode_ = Mode::kTimedOut;
       stats_.prepare_seconds = watch.seconds();
       return false;
     }
     if (r.count == 0) {
+      engine_.reset();  // no hashed query will ever run
       mode_ = Mode::kUnsat;
       stats_.prepare_seconds = watch.seconds();
       return true;
     }
     if (r.count <= kp_.hi_thresh) {
-      trivial_models_ = r.models;
+      trivial_models_ =
+          project_models_to_formula(std::move(r.models), cnf_.num_vars());
+      engine_.reset();
       stats_.trivial = true;
       mode_ = Mode::kTrivial;
       stats_.prepare_seconds = watch.seconds();
@@ -67,6 +76,7 @@ bool UniGen::prepare() {
   amc.bsat_timeout_s = options_.bsat_timeout_s;
   const ApproxMcResult count = approx_count(cnf_, amc, rng_);
   stats_.prepare_bsat_calls += count.bsat_calls;
+  stats_.counter_solver_rebuilds = count.solver_rebuilds;
   if (!count.valid) {
     mode_ = Mode::kTimedOut;
     stats_.prepare_seconds = watch.seconds();
@@ -150,20 +160,19 @@ std::vector<Model> UniGen::accept_cell(bool& timed_out) {
       stats_.total_xor_row_length +=
           hash.average_row_length() * static_cast<double>(hash.m());
 
-      // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh).
-      Cnf hashed = cnf_;
-      hash.conjoin_to(hashed);
-      Solver solver;
-      solver.load(hashed);
-      EnumerateOptions eopts;
-      eopts.max_models = kp_.hi_thresh + 1;
+      // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh), on the persistent
+      // engine: the rows go in absorber-activated (the previous attempt's
+      // rows become inert), so no CNF copy and no solver rebuild happens —
+      // and everything learnt in earlier samples keeps working for us.
+      engine_->begin_hash();
+      engine_->push_rows(hash);
       const double budget = std::min(options_.bsat_timeout_s,
                                      deadline.remaining_seconds());
-      eopts.deadline = Deadline::in_seconds(budget);
-      eopts.projection = sampling_set_;
-      eopts.store_models = true;
-      const EnumerateResult r = enumerate_models(solver, eopts);
+      EnumerateResult r = engine_->enumerate_cell(
+          static_cast<std::size_t>(i), kp_.hi_thresh + 1,
+          Deadline::in_seconds(budget), true);
       ++stats_.sample_bsat_calls;
+      sync_engine_stats();
 
       if (r.timed_out) {
         ++stats_.bsat_timeout_retries;
@@ -172,7 +181,7 @@ std::vector<Model> UniGen::accept_cell(bool& timed_out) {
       // Line 17 acceptance test: loThresh <= |Y| <= hiThresh.
       if (static_cast<double>(r.count) >= kp_.lo_thresh &&
           r.count <= kp_.hi_thresh) {
-        return std::move(r.models);
+        return project_models_to_formula(std::move(r.models), cnf_.num_vars());
       }
       break;  // cell out of range: next i
     }

@@ -22,12 +22,14 @@
 // loses no guarantee, because lines 12–22 are i.i.d. across samples.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cnf/cnf.hpp"
 #include "core/kappa_pivot.hpp"
 #include "core/sampler.hpp"
 #include "counting/approxmc.hpp"
+#include "sat/incremental_bsat.hpp"
 #include "util/rng.hpp"
 
 namespace unigen {
@@ -66,6 +68,15 @@ struct UniGenStats {
   std::uint64_t sample_bsat_calls = 0;
   std::uint64_t bsat_timeout_retries = 0;
   double sample_seconds = 0.0;
+  /// Incremental-BSAT engine counters for the sampling engine shared by the
+  /// easy-case check and every accept_cell: one persistent solver per
+  /// UniGen instance, so solver_rebuilds stays at 1 across all samples.
+  /// (prepare's ApproxMC run owns a second engine; its rebuild count is
+  /// counter_solver_rebuilds.)
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t reused_solves = 0;
+  std::uint64_t retracted_blocks = 0;
+  std::uint64_t counter_solver_rebuilds = 0;
   /// Average XOR-row length over all hash rows drawn (≈ |S|/2).
   double total_xor_row_length = 0.0;
   std::uint64_t total_xor_rows = 0;
@@ -114,6 +125,9 @@ class UniGen final : public WitnessSampler {
   std::vector<Model> accept_cell(bool& timed_out);
   SampleResult sample_hashed();
 
+  /// Copies the sampling-engine counters into stats_.
+  void sync_engine_stats();
+
   Cnf cnf_;
   std::vector<Var> sampling_set_;
   UniGenOptions options_;
@@ -121,6 +135,10 @@ class UniGen final : public WitnessSampler {
   KappaPivot kp_;
   Mode mode_ = Mode::kUnprepared;
   std::vector<Model> trivial_models_;  // the easy case's full witness list
+  /// The persistent BSAT engine: built once in prepare(), reused by every
+  /// accept_cell across all samples (released again when the instance turns
+  /// out to be trivial/UNSAT and no hashed queries will ever run).
+  std::unique_ptr<IncrementalBsat> engine_;
   UniGenStats stats_;
 };
 

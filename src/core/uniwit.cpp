@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "hashing/xor_hash.hpp"
-#include "sat/enumerator.hpp"
+#include "sat/incremental_bsat.hpp"
 #include "util/timer.hpp"
 
 namespace unigen {
@@ -47,18 +47,20 @@ SampleResult UniWit::sample() {
     return r;
   };
 
-  auto bounded_enumerate = [&](const Cnf& formula,
+  // One engine per sample() call: UniWit by design amortizes nothing
+  // ACROSS witnesses (that is the baseline the paper argues against), but
+  // within a single witness's m-scan the engine still avoids re-copying
+  // the CNF and rebuilding a solver for every hash level.
+  IncrementalBsat engine(cnf_, full_support_);
+  auto witness_of = [&](Model m) {
+    return project_model_to_formula(std::move(m), cnf_.num_vars());
+  };
+  auto bounded_enumerate = [&](std::size_t level,
                                EnumerateResult& out) -> bool {
-    Solver solver;
-    solver.load(formula);
-    EnumerateOptions eopts;
-    eopts.max_models = kp_.hi_thresh + 1;
     const double budget =
         std::min(options_.bsat_timeout_s, deadline.remaining_seconds());
-    eopts.deadline = Deadline::in_seconds(budget);
-    eopts.projection = full_support_;  // blocking over the full support
-    eopts.store_models = true;
-    out = enumerate_models(solver, eopts);
+    out = engine.enumerate_cell(level, kp_.hi_thresh + 1,
+                                Deadline::in_seconds(budget), true);
     ++stats_.bsat_calls;
     return !out.timed_out;
   };
@@ -66,11 +68,11 @@ SampleResult UniWit::sample() {
   // Easy case: few enough witnesses overall.  UniWit pays for this check on
   // EVERY sample — nothing is cached across calls.
   EnumerateResult base;
-  if (!bounded_enumerate(cnf_, base)) return finish(SampleResult::timeout());
+  if (!bounded_enumerate(0, base)) return finish(SampleResult::timeout());
   if (base.count == 0) return finish(SampleResult::unsat());
   if (base.count <= kp_.hi_thresh) {
     const auto j = rng_.below(base.models.size());
-    return finish(SampleResult::success(base.models[j]));
+    return finish(SampleResult::success(witness_of(std::move(base.models[j]))));
   }
 
   // Sequential scan over m, hashing over the FULL support: fresh for every
@@ -83,17 +85,17 @@ SampleResult UniWit::sample() {
     stats_.total_xor_rows += hash.m();
     stats_.total_xor_row_length +=
         hash.average_row_length() * static_cast<double>(hash.m());
-    Cnf hashed = cnf_;
-    hash.conjoin_to(hashed);
+    engine.begin_hash();
+    engine.push_rows(hash);
     EnumerateResult cell;
-    if (!bounded_enumerate(hashed, cell)) {
+    if (!bounded_enumerate(static_cast<std::size_t>(m), cell)) {
       --m;  // BSAT timeout: retry the same m with a fresh hash
       if (deadline.expired()) return finish(SampleResult::timeout());
       continue;
     }
     if (cell.count >= 1 && cell.count <= kp_.hi_thresh) {
       const auto j = rng_.below(cell.models.size());
-      return finish(SampleResult::success(cell.models[j]));
+      return finish(SampleResult::success(witness_of(std::move(cell.models[j]))));
     }
     if (cell.count == 0) break;  // cells only shrink; give up (⊥)
   }

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "hashing/xor_hash.hpp"
-#include "sat/enumerator.hpp"
+#include "sat/incremental_bsat.hpp"
 
 namespace unigen {
 namespace {
@@ -30,23 +30,18 @@ Deadline per_call_deadline(const ApproxMcOptions& options) {
   return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
 }
 
-/// BSAT on F ∧ (h = α) with a fresh m-row hash, bounded at pivot+1.
-ProbeOutcome probe(const Cnf& base, const std::vector<Var>& sampling_set,
-                   std::uint32_t m, std::uint64_t pivot,
-                   const ApproxMcOptions& options, Rng& rng,
-                   std::uint64_t& bsat_calls) {
-  Cnf hashed = base;
-  const XorHash h = draw_xor_hash(sampling_set, m, rng);
-  h.conjoin_to(hashed);
-
-  Solver solver;
-  solver.load(hashed);
-  EnumerateOptions eopts;
-  eopts.max_models = pivot + 1;
-  eopts.deadline = per_call_deadline(options);
-  eopts.projection = sampling_set;
-  eopts.store_models = false;
-  const EnumerateResult r = enumerate_models(solver, eopts);
+/// BSAT on F ∧ (first m rows of the iteration's hash), bounded at pivot+1.
+/// Runs on the persistent engine: rows are drawn lazily as m climbs and
+/// activated by assumption, so no CNF copy and no solver construction
+/// happens per call (ApproxMC2 uses the same nested-prefix hash levels).
+ProbeOutcome probe(IncrementalBsat& engine, std::uint32_t m,
+                   std::uint64_t pivot, const ApproxMcOptions& options,
+                   Rng& rng, std::uint64_t& bsat_calls) {
+  if (m > engine.hash_level())
+    engine.push_rows(draw_xor_hash(engine.projection(),
+                                   m - engine.hash_level(), rng));
+  const EnumerateResult r =
+      engine.enumerate_cell(m, pivot + 1, per_call_deadline(options), false);
   ++bsat_calls;
 
   ProbeOutcome out;
@@ -93,33 +88,38 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
   const std::vector<Var> sampling_set = cnf.sampling_set_or_all();
   const auto n = static_cast<std::uint32_t>(sampling_set.size());
 
+  // One persistent solver for the whole count; every BSAT call below runs
+  // on it.  Engine counters are folded into the result before returning.
+  IncrementalBsat engine(cnf, sampling_set);
+  const auto finish = [&](ApproxMcResult r) {
+    const SolverStats st = engine.stats();
+    r.solver_rebuilds = st.solver_rebuilds;
+    r.reused_solves = st.reused_solves;
+    r.retracted_blocks = st.retracted_blocks;
+    return r;
+  };
+
   // Unhashed first: small solution spaces are counted exactly.
   {
-    Solver solver;
-    solver.load(cnf);
-    EnumerateOptions eopts;
-    eopts.max_models = result.pivot + 1;
-    eopts.deadline = per_call_deadline(options);
-    eopts.projection = sampling_set;
-    eopts.store_models = false;
-    const EnumerateResult r = enumerate_models(solver, eopts);
+    const EnumerateResult r = engine.enumerate_cell(
+        0, result.pivot + 1, per_call_deadline(options), false);
     ++result.bsat_calls;
     if (r.timed_out) {
       result.timed_out = true;
-      return result;
+      return finish(result);
     }
     if (r.count <= result.pivot) {
       result.valid = true;
       result.exact = true;
       result.cell_count = r.count;
       result.hash_count = 0;
-      return result;
+      return finish(result);
     }
   }
   if (n == 0) {
     // Sampling set exhausted but more than pivot projections exist — cannot
     // happen; defensive.
-    return result;
+    return finish(result);
   }
 
   result.iterations_requested = approxmc_iteration_count(options.delta);
@@ -138,9 +138,10 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
     std::uint64_t hi_count = 0;
     std::uint32_t m = std::clamp<std::uint32_t>(prev_m, 1, n);
     bool iteration_failed = false;
+    engine.begin_hash();  // fresh hash per iteration; levels nest within it
     for (;;) {
-      const ProbeOutcome pr = probe(cnf, sampling_set, m, result.pivot,
-                                    options, rng, result.bsat_calls);
+      const ProbeOutcome pr =
+          probe(engine, m, result.pivot, options, rng, result.bsat_calls);
       if (pr.timed_out) {
         iteration_failed = true;
         break;
@@ -171,7 +172,7 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
 
   if (estimates.empty()) {
     result.timed_out = result.timed_out || options.deadline.expired();
-    return result;
+    return finish(result);
   }
   std::sort(estimates.begin(), estimates.end(),
             [](const Estimate& a, const Estimate& b) {
@@ -181,7 +182,7 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
   result.valid = true;
   result.cell_count = median.cell_count;
   result.hash_count = median.hash_count;
-  return result;
+  return finish(result);
 }
 
 }  // namespace unigen

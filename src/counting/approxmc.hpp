@@ -8,13 +8,19 @@
 // Counting is projected onto the formula's sampling set S; when S is an
 // independent support this equals |R_F|, which is how UniGen uses it.
 //
-// Two engineering deviations from the CP 2013 pseudocode, both preserving
-// the guarantee (see DESIGN.md §4):
+// Three engineering deviations from the CP 2013 pseudocode (see
+// DESIGN.md §4), the first two preserving the guarantee outright:
 //   * the number of median iterations is the smallest odd t whose binomial
 //     failure tail is below δ (with per-iteration success probability
 //     1 − e^{−3/2}), instead of the loose ⌈35·log2(3/δ)⌉;
 //   * the search for the hash count m gallops/binary-searches from the
-//     previous iteration's m (ApproxMC2-style) instead of scanning from 0.
+//     previous iteration's m (ApproxMC2-style) instead of scanning from 0;
+//   * within one iteration all probed hash counts m use nested prefixes of
+//     a single lazily drawn hash (rows 1..m of one h), not an independent
+//     (h, α) per probe.  This is ApproxMC2's scheme — its analysis proves
+//     the same (ε, δ) guarantee for exactly this prefix-slicing structure —
+//     and is what lets the incremental BSAT engine activate levels by
+//     assumption instead of rebuilding a solver per probe.
 
 #include <cmath>
 #include <cstdint>
@@ -59,6 +65,12 @@ struct ApproxMcResult {
   int iterations_requested = 0;
   int iterations_succeeded = 0;
   std::uint64_t bsat_calls = 0;
+  // Incremental-BSAT engine counters for the run: all bsat_calls above are
+  // served by one persistent solver, so solver_rebuilds stays at 1 (the
+  // initial construction) unless the inert-row cap forces a rebuild.
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t reused_solves = 0;
+  std::uint64_t retracted_blocks = 0;
 };
 
 /// pivot(ε) = 2·⌈3·e^{1/2}·(1 + 1/ε)²⌉  (CP 2013).

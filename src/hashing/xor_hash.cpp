@@ -1,5 +1,7 @@
 #include "hashing/xor_hash.hpp"
 
+#include "sat/solver.hpp"
+
 namespace unigen {
 
 XorHash draw_xor_hash(const std::vector<Var>& vars, std::size_t m, Rng& rng) {
@@ -40,6 +42,18 @@ double XorHash::average_row_length() const {
 
 void XorHash::conjoin_to(Cnf& cnf) const {
   for (const auto& row : rows) cnf.add_xor(row);
+}
+
+void XorHash::attach_to(Solver& solver, std::vector<Lit>& activations) const {
+  std::vector<Var> vars;
+  for (const auto& row : rows) {
+    const Var absorber = solver.new_var();
+    solver.mark_absorber(absorber);
+    vars.assign(row.vars.begin(), row.vars.end());
+    vars.push_back(absorber);
+    solver.add_xor(std::move(vars), row.rhs);
+    activations.push_back(Lit(absorber, true));  // assume ¬absorber: row on
+  }
 }
 
 }  // namespace unigen

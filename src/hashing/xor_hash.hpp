@@ -20,6 +20,8 @@
 
 namespace unigen {
 
+class Solver;
+
 /// One drawn hash function h together with a target cell α.
 struct XorHash {
   /// Row i: XOR of `rows[i].vars` must equal `rows[i].rhs`
@@ -45,6 +47,15 @@ struct XorHash {
 
   /// Adds the constraints h(y) = α to `cnf` as native XOR clauses.
   void conjoin_to(Cnf& cnf) const;
+
+  /// Emits the rows into a *persistent* solver instead of a copied CNF
+  /// (the incremental-BSAT path): each row gets a fresh absorber variable
+  /// folded in, making the row inert — it merely defines the absorber —
+  /// until the absorber's negative literal is assumed, which switches the
+  /// row's parity over the hashed variables on.  One activation literal per
+  /// row is appended to `activations`, in row order, so hash levels
+  /// m = 1..n are nested prefixes of that list.
+  void attach_to(Solver& solver, std::vector<Lit>& activations) const;
 };
 
 /// Draws h uniformly from H_xor(|vars|, m, 3) and α uniformly from {0,1}^m

@@ -14,17 +14,27 @@ EnumerateResult enumerate_models(Solver& solver,
   // Projection-aware branching: decide the sampling set first so that the
   // dependent variables follow by propagation and parity conflicts stay
   // shallow.  Skipped when the projection is large (the linear priority
-  // scan would dominate) or trivial.
-  if (projection.size() < static_cast<std::size_t>(solver.num_vars()) &&
-      projection.size() <= 4096)
+  // scan would dominate) or trivial — triviality is judged against the
+  // formula's own variable count, not the solver's (which includes engine
+  // auxiliaries on the incremental path).
+  const auto formula_vars = static_cast<std::size_t>(
+      options.formula_vars > 0 ? options.formula_vars : solver.num_vars());
+  if (projection.size() < formula_vars && projection.size() <= 4096)
     solver.set_priority_vars(projection);
+
+  // One scratch buffer for every per-model blocking clause; add_clause_from
+  // copies only the surviving literals into the stored clause, so the hot
+  // loop performs no per-model vector churn.
+  std::vector<Lit> blocking;
+  blocking.reserve(projection.size() + 1);
 
   while (result.count < options.max_models) {
     if (options.deadline.expired()) {
       result.timed_out = true;
       return result;
     }
-    const lbool status = solver.solve_limited({}, options.deadline, 0);
+    const lbool status =
+        solver.solve_limited(options.assumptions, options.deadline, 0);
     if (status == lbool::Undef) {
       result.timed_out = true;
       return result;
@@ -38,16 +48,18 @@ EnumerateResult enumerate_models(Solver& solver,
     if (options.store_models) result.models.push_back(m);
 
     // Block this S-projection: at least one sampling variable must differ.
-    std::vector<Lit> blocking;
-    blocking.reserve(projection.size());
+    blocking.clear();
     for (const Var v : projection) {
       const lbool val = m[static_cast<std::size_t>(v)];
       blocking.push_back(Lit(v, val == lbool::True));
     }
-    if (!solver.add_clause(std::move(blocking))) {
+    if (options.block_activation.valid())
+      blocking.push_back(options.block_activation);
+    if (!solver.add_clause_from(blocking.data(), blocking.size())) {
       result.exhausted = true;  // blocking made the formula UNSAT
       return result;
     }
+    ++result.blocks_added;
   }
   return result;  // hit max_models; space may or may not be exhausted
 }

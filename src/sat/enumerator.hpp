@@ -29,6 +29,22 @@ struct EnumerateOptions {
   std::vector<Var> projection;
   /// Keep the full models; turn off when only the count matters (ApproxMC).
   bool store_models = true;
+  /// Assumptions passed to every solve call.  The incremental BSAT engine
+  /// uses these to switch on absorber-activated hash rows and the current
+  /// cell's blocking selector; plain callers leave it empty.
+  std::vector<Lit> assumptions;
+  /// Number of variables of the *formula* (excluding engine auxiliaries
+  /// such as absorbers and selectors); 0 means solver.num_vars().  Used to
+  /// decide whether the projection is trivial (covers the whole formula)
+  /// so priority branching keeps its seed semantics on a persistent solver
+  /// whose variable count keeps growing.
+  Var formula_vars = 0;
+  /// When valid, this literal is appended to every blocking clause, so the
+  /// whole cell's blocks can later be retracted by asserting it as a unit
+  /// (IncrementalBsat does exactly that after counting the cell).  The
+  /// caller must also assume its negation via `assumptions`, otherwise the
+  /// blocks are inert from the start.
+  Lit block_activation = kUndefLit;
 };
 
 struct EnumerateResult {
@@ -41,10 +57,15 @@ struct EnumerateResult {
   bool exhausted = false;
   /// True iff enumeration stopped because the deadline expired.
   bool timed_out = false;
+  /// Number of blocking clauses actually added to the solver (<= count;
+  /// the engine's retraction accounting uses this).
+  std::uint64_t blocks_added = 0;
 };
 
-/// Destructive: adds blocking clauses to `solver`.  Callers that need the
-/// solver again must reload the formula.
+/// Adds blocking clauses to `solver`.  Without `block_activation` this is
+/// destructive — callers that need the solver again must reload the formula;
+/// with it, the blocks can be retracted afterwards by asserting the
+/// activation literal as a unit (see IncrementalBsat).
 EnumerateResult enumerate_models(Solver& solver, const EnumerateOptions& options);
 
 /// Convenience wrapper: loads `cnf` into a fresh solver and enumerates over

@@ -18,61 +18,91 @@ bool Solver::reduce_priority_local_xors() {
   assert(decision_level() == 0);
   if (priority_vars_.empty() || xors_.empty()) return true;
 
+  const std::size_t p = priority_vars_.size();
   std::vector<char> in_priority(static_cast<std::size_t>(num_vars()), 0);
   std::vector<std::uint32_t> col_of(static_cast<std::size_t>(num_vars()), 0);
-  for (std::size_t c = 0; c < priority_vars_.size(); ++c) {
+  for (std::size_t c = 0; c < p; ++c) {
     in_priority[static_cast<std::size_t>(priority_vars_[c])] = 1;
     col_of[static_cast<std::size_t>(priority_vars_[c])] =
         static_cast<std::uint32_t>(c);
   }
 
-  // Partition: rows whose unassigned support lies inside the priority set
-  // go into the local system; everything else is kept as-is.
-  std::vector<XorCls> kept;
-  Gf2System system(priority_vars_.size());
-  std::vector<std::uint32_t> row;
+  // Pass 1 — classify.  A row joins the local system when every unassigned
+  // variable is either in the priority set or a *live* absorber (hash rows
+  // carry one absorber each; since every such row is a true constraint of
+  // the formula — active or not — any linear combination of them is
+  // globally valid, so not-yet-assumed rows are safe to mix into the
+  // basis).  Rows whose absorber has been retired are left verbatim: they
+  // can never imply anything on their own (the free absorber soaks up any
+  // parity) and folding an unbounded tail of them made elimination
+  // quadratic in the number of past hash epochs.  Absorber columns come
+  // after the priority columns: Gf2System pivots on the lowest column, so
+  // a row with any priority variable pivots on one.
+  std::vector<char> local(xors_.size(), 0);
+  std::vector<char> has_col(static_cast<std::size_t>(num_vars()), 0);
+  for (const Var v : priority_vars_) has_col[static_cast<std::size_t>(v)] = 1;
+  std::vector<Var> absorber_cols;  // column p + i  ->  absorber_cols[i]
   bool any_local = false;
-  for (auto& x : xors_) {
-    bool local = true;
-    for (const Var v : x.vars) {
+  for (std::size_t i = 0; i < xors_.size(); ++i) {
+    if (xors_[i].ephemeral) continue;  // redundant; would pollute the basis
+    bool is_local = true;
+    for (const Var v : xors_[i].vars) {
       if (value(v) == lbool::Undef &&
-          !in_priority[static_cast<std::size_t>(v)]) {
-        local = false;
+          !in_priority[static_cast<std::size_t>(v)] && !is_live_absorber(v)) {
+        is_local = false;
         break;
       }
     }
-    if (!local) {
-      kept.push_back(std::move(x));
-      continue;
-    }
+    if (!is_local) continue;
+    local[i] = 1;
     any_local = true;
+    for (const Var v : xors_[i].vars) {
+      if (value(v) == lbool::Undef && !has_col[static_cast<std::size_t>(v)]) {
+        has_col[static_cast<std::size_t>(v)] = 1;
+        col_of[static_cast<std::size_t>(v)] =
+            static_cast<std::uint32_t>(p + absorber_cols.size());
+        absorber_cols.push_back(v);
+      }
+    }
+  }
+  if (!any_local) return true;
+
+  // Pass 2 — eliminate.  Level-0 facts fold into each row's rhs.
+  Gf2System system(p + absorber_cols.size());
+  std::vector<std::uint32_t> row;
+  for (std::size_t i = 0; i < xors_.size(); ++i) {
+    if (!local[i]) continue;
     row.clear();
-    bool rhs = x.rhs;
-    for (const Var v : x.vars) {
+    bool rhs = xors_[i].rhs;
+    for (const Var v : xors_[i].vars) {
       if (value(v) == lbool::Undef)
         row.push_back(col_of[static_cast<std::size_t>(v)]);
       else
         rhs ^= (value(v) == lbool::True);
     }
     if (!system.add_constraint(row, rhs)) {
-      ok_ = false;  // 0 = 1; xors_ holds moved-from rows, but ok_ == false
-      return false;  // permanently blocks any further solving
+      ok_ = false;   // 0 = 1 over globally valid rows: truly UNSAT
+      return false;
     }
   }
-  if (!any_local) {
-    // Every row was moved into `kept` in original order; restore them so
-    // the existing watch lists (which index by position) stay valid.
-    xors_ = std::move(kept);
-    return true;
-  }
 
-  // Reduced basis replaces the local rows; pivots leave the priority set.
-  std::vector<char> is_pivot(priority_vars_.size(), 0);
+  // Reduced basis replaces the local rows; priority pivots leave the
+  // priority set (each is forced by watch propagation once the remaining
+  // free variables and the row's absorbers are assigned).
+  auto col_var = [&](std::uint32_t col) {
+    return col < p ? priority_vars_[col] : absorber_cols[col - p];
+  };
+  std::vector<XorCls> kept;
+  for (std::size_t i = 0; i < xors_.size(); ++i)
+    if (!local[i]) kept.push_back(std::move(xors_[i]));
+  std::vector<char> is_pivot(p, 0);
   for (const auto& reduced : system.reduced_rows()) {
-    is_pivot[reduced.vars[0]] = 1;  // pivot column first, by contract
+    if (reduced.vars[0] < p)
+      is_pivot[reduced.vars[0]] = 1;  // pivot column first, by contract
     if (reduced.vars.size() == 1) {
-      if (!enqueue(Lit(priority_vars_[reduced.vars[0]], !reduced.rhs),
-                   Reason{})) {
+      // Forced constant — possibly an absorber whose row's base variables
+      // are all fixed (then the constraint itself decides the absorber).
+      if (!enqueue(Lit(col_var(reduced.vars[0]), !reduced.rhs), Reason{})) {
         ok_ = false;
         return false;
       }
@@ -83,44 +113,13 @@ bool Solver::reduce_priority_local_xors() {
     replacement.rhs = reduced.rhs;
     replacement.vars.reserve(reduced.vars.size());
     for (const auto col : reduced.vars)
-      replacement.vars.push_back(priority_vars_[col]);
+      replacement.vars.push_back(col_var(col));
     kept.push_back(std::move(replacement));
   }
 
-  // Swap in the new XOR set and rebuild the watch lists.  Rows may have
-  // picked up level-0 assignments since they were first attached: restore
-  // the invariant that positions 0 and 1 are unassigned, folding rows with
-  // fewer than two unassigned variables into facts.  Stale xor-id reasons
-  // can only belong to level-0 literals, whose reasons are never
-  // materialized, but clear them anyway.
-  for (auto& ws : xor_watches_) ws.clear();
-  xors_.clear();
-  for (auto& x : kept) {
-    std::size_t unassigned = 0;
-    for (std::size_t k = 0; k < x.vars.size() && unassigned < 2; ++k) {
-      if (value(x.vars[k]) == lbool::Undef)
-        std::swap(x.vars[unassigned++], x.vars[k]);
-    }
-    if (unassigned == 0) {
-      if (xor_parity_from(x, 0) != x.rhs) {
-        ok_ = false;
-        return false;
-      }
-      continue;  // permanently satisfied
-    }
-    if (unassigned == 1) {
-      const bool needed = x.rhs ^ xor_parity_from(x, 1);
-      if (!enqueue(Lit(x.vars[0], !needed), Reason{})) {
-        ok_ = false;
-        return false;
-      }
-      continue;
-    }
-    xors_.push_back(std::move(x));
-    attach_xor(static_cast<std::int32_t>(xors_.size()) - 1);
-  }
-  for (const Lit l : trail_)
-    vardata_[static_cast<std::size_t>(l.var())].reason = Reason{};
+  // Swap in the new XOR set (rows may have picked up level-0 assignments
+  // since they were first attached; replace_xors re-normalizes them).
+  if (!replace_xors(std::move(kept))) return false;
 
   std::vector<Var> free_vars;
   free_vars.reserve(priority_vars_.size());
@@ -134,10 +133,23 @@ bool Solver::reduce_priority_local_xors() {
 bool Solver::gauss_preprocess() {
   assert(decision_level() == 0);
   if (!reduce_priority_local_xors()) return false;
+  // Ephemeral rows are linear combinations of the others (no effect on the
+  // eliminated system); rows with a retired (free, never-again-assumed)
+  // absorber are inert.  Both are excluded, as in reduce_priority_local_xors.
+  const auto participates = [&](const XorCls& x) {
+    if (x.ephemeral) return false;
+    for (const Var v : x.vars) {
+      if (value(v) == lbool::Undef && is_absorber(v) && !is_live_absorber(v))
+        return false;
+    }
+    return true;
+  };
   // Compact the variables that occur in XORs into dense column indices.
   std::vector<Var> columns;
-  for (const auto& x : xors_)
+  for (const auto& x : xors_) {
+    if (!participates(x)) continue;
     for (const Var v : x.vars) columns.push_back(v);
+  }
   std::sort(columns.begin(), columns.end());
   columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
   if (columns.empty()) return true;
@@ -148,6 +160,7 @@ bool Solver::gauss_preprocess() {
   Gf2System system(columns.size());
   std::vector<std::uint32_t> row;
   for (const auto& x : xors_) {
+    if (!participates(x)) continue;
     row.clear();
     bool rhs = x.rhs;
     for (const Var v : x.vars) {
@@ -168,7 +181,9 @@ bool Solver::gauss_preprocess() {
   }
   if (propagate() != nullptr) return false;
 
-  // Re-inject short derived rows not already present.
+  // Re-inject short derived rows not already present, marked ephemeral:
+  // they are pruning aids, re-derived per elimination and dropped at epoch
+  // retirement, never folded into a basis (see XorCls::ephemeral).
   std::set<std::pair<std::vector<Var>, bool>> existing;
   for (const auto& x : xors_) {
     auto key = x.vars;
@@ -185,7 +200,7 @@ bool Solver::gauss_preprocess() {
     for (const auto col : reduced.vars) vars.push_back(columns[col]);
     std::sort(vars.begin(), vars.end());
     if (existing.count({vars, reduced.rhs}) > 0) continue;
-    if (!add_xor(vars, reduced.rhs)) return false;
+    if (!add_xor(vars, reduced.rhs, /*ephemeral=*/true)) return false;
   }
   gauss_done_ = saved_flag;  // add_xor cleared it; the system is already reduced
   return ok_;

@@ -1,0 +1,92 @@
+#include "sat/incremental_bsat.hpp"
+
+#include <cassert>
+
+namespace unigen {
+
+IncrementalBsat::IncrementalBsat(const Cnf& cnf, std::vector<Var> projection,
+                                 IncrementalBsatOptions options)
+    : cnf_(cnf), projection_(std::move(projection)), options_(options) {
+  if (projection_.empty()) {
+    projection_.resize(static_cast<std::size_t>(cnf_.num_vars()));
+    for (Var v = 0; v < cnf_.num_vars(); ++v)
+      projection_[static_cast<std::size_t>(v)] = v;
+  }
+  rebuild();
+}
+
+void IncrementalBsat::rebuild() {
+  // Only ever happens between hash epochs (constructor or begin_hash), so
+  // there are no active rows to carry over.
+  assert(activations_.empty());
+  if (solver_) accum_.merge(solver_->stats());
+  solver_ = std::make_unique<Solver>();
+  solver_->load(cnf_);
+  ++accum_.solver_rebuilds;
+  solves_on_build_ = 0;
+  retired_rows_ = 0;
+}
+
+void IncrementalBsat::begin_hash() {
+  retired_rows_ += activations_.size();
+  if (retired_rows_ > options_.max_retired_rows) {
+    // The rebuild replaces the solver wholesale; skip the (discarded)
+    // retirement elimination and learnt trim.
+    activations_.clear();
+    rebuild();
+    return;
+  }
+  std::vector<Var> absorbers;
+  absorbers.reserve(activations_.size());
+  for (const Lit a : activations_) absorbers.push_back(a.var());
+  solver_->retire_rows(absorbers);
+  solver_->shrink_learnts(options_.learnts_across_epochs);
+  activations_.clear();
+}
+
+void IncrementalBsat::push_rows(const XorHash& h) {
+  h.attach_to(*solver_, activations_);
+}
+
+EnumerateResult IncrementalBsat::enumerate_cell(std::size_t m,
+                                                std::uint64_t max_models,
+                                                const Deadline& deadline,
+                                                bool store_models) {
+  assert(m <= activations_.size());
+  EnumerateOptions eopts;
+  eopts.max_models = max_models;
+  eopts.deadline = deadline;
+  eopts.projection = projection_;
+  eopts.store_models = store_models;
+  eopts.formula_vars = cnf_.num_vars();
+  eopts.assumptions.assign(activations_.begin(),
+                           activations_.begin() +
+                               static_cast<std::ptrdiff_t>(m));
+  // Per-cell selector: every blocking clause of this cell contains the
+  // positive selector, enumeration assumes its negation, and one unit
+  // afterwards retracts the whole cell's blocks.
+  const Var selector = solver_->new_var();
+  eopts.assumptions.push_back(Lit(selector, true));
+  eopts.block_activation = Lit(selector, false);
+
+  const EnumerateResult result = enumerate_models(*solver_, eopts);
+
+  // The unit is added even for empty cells: it freezes the selector at the
+  // root, so later solves never branch on it.
+  solver_->add_clause({Lit(selector, false)});
+  if (result.blocks_added > 0) {
+    solver_->simplify();  // the unit satisfied all of this cell's blocks;
+                          // sweep them (and any stale learnts) out
+    accum_.retracted_blocks += result.blocks_added;
+  }
+  if (++solves_on_build_ > 1) ++accum_.reused_solves;
+  return result;
+}
+
+SolverStats IncrementalBsat::stats() const {
+  SolverStats merged = accum_;
+  merged.merge(solver_->stats());
+  return merged;
+}
+
+}  // namespace unigen

@@ -1,0 +1,124 @@
+#pragma once
+// Incremental BSAT engine: one persistent Solver shared by every BSAT call
+// of an ApproxMC run or a UniGen instance.
+//
+// The paper's runtime is dominated by repeated BSAT calls on F ∧ (h = α).
+// The naive implementation pays, per call: one full Cnf copy, one Solver
+// construction, one clause re-attachment pass, one Gaussian elimination from
+// scratch — and throws away every learnt clause.  This engine eliminates all
+// of that (the CryptoMiniSAT-backed UniGen/ApproxMC tools amortize the same
+// way):
+//
+//   * The base formula is loaded exactly once (`solver_rebuilds` stays ~1).
+//   * XOR hash rows are added once per epoch with a fresh *absorber*
+//     variable folded into each row.  XOR(vars, a) = rhs is inert while `a`
+//     is free (it merely defines `a`), and equivalent to XOR(vars) = rhs
+//     under the assumption ¬a — so hash levels m = 1..n are nested prefixes
+//     of the activation-literal list, switched on via solve(assumptions)
+//     with no CNF copies and no solver reconstruction.
+//   * Enumeration blocking clauses carry a per-cell selector literal; after
+//     a cell is counted, a single unit clause (the selector) permanently
+//     satisfies — i.e. retracts — all of that cell's blocks.
+//   * Learnt clauses survive across BSAT calls, hash levels, ApproxMC
+//     iterations and UniGen samples.  When an epoch ends its rows are
+//     deleted together with the learnts that mention their absorbers; the
+//     surviving learnts are implied by the base formula alone (each row is
+//     a conservative extension — it only defines its fresh absorber), so
+//     retirement costs nothing at solve time.
+//
+// Each retired row leaves one frozen absorber variable behind, so a
+// long-lived engine rebuilds the solver once `max_retired_rows` have
+// accumulated — a rare, counted event that merely compacts the tables.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "cnf/types.hpp"
+#include "hashing/xor_hash.hpp"
+#include "sat/enumerator.hpp"
+#include "sat/solver.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+
+struct IncrementalBsatOptions {
+  /// Rebuild the persistent solver from scratch once this many hash rows
+  /// have been retired.  Retired rows (and the learnts mentioning them)
+  /// are deleted outright, so this cap only bounds the growth of the
+  /// variable tables — each retired row leaves one frozen absorber
+  /// variable behind.  Rebuilds are rare (one per ~thousand UniGen
+  /// samples) and counted in SolverStats::solver_rebuilds.
+  std::size_t max_retired_rows = 4096;
+  /// Learnt clauses carried across a hash-epoch boundary (the best by
+  /// LBD/activity).  Within an epoch lemmas are hot; across epochs a large
+  /// stale tail slows propagation more than it saves conflicts (measured
+  /// sweet spot on the circuit-parity bench: 64–256).
+  std::size_t learnts_across_epochs = 128;
+};
+
+class IncrementalBsat {
+ public:
+  /// `projection` is the set the cells are counted/blocked over (normally
+  /// the sampling set S); empty means all variables of `cnf`.  The engine
+  /// keeps a reference to `cnf` (for the rare rebuilds), which must
+  /// therefore outlive it; temporaries are rejected at compile time.
+  IncrementalBsat(const Cnf& cnf, std::vector<Var> projection,
+                  IncrementalBsatOptions options = {});
+  IncrementalBsat(Cnf&&, std::vector<Var>, IncrementalBsatOptions = {}) =
+      delete;
+
+  /// Starts a new hash epoch: the rows of the previous epoch become inert
+  /// (their absorbers are simply never assumed again).
+  void begin_hash();
+
+  /// Extends the active hash with `h`'s rows; hash levels grow by h.m().
+  /// Rows pushed later are deeper levels of the same epoch, so a caller can
+  /// draw rows lazily as its search for m climbs.
+  void push_rows(const XorHash& h);
+
+  /// Number of rows installed in the active epoch (the deepest usable m).
+  std::size_t hash_level() const { return activations_.size(); }
+
+  /// BSAT(F ∧ first-m-rows-of-the-active-hash, max_models): enumerates the
+  /// target cell at hash level m on the persistent solver.  All blocking
+  /// clauses added during the call are retracted before returning.
+  EnumerateResult enumerate_cell(std::size_t m, std::uint64_t max_models,
+                                 const Deadline& deadline, bool store_models);
+
+  /// Cumulative statistics across rebuilds, including the engine counters
+  /// solver_rebuilds / reused_solves / retracted_blocks.
+  SolverStats stats() const;
+
+  const std::vector<Var>& projection() const { return projection_; }
+  Solver& solver() { return *solver_; }
+
+ private:
+  void rebuild();
+
+  const Cnf& cnf_;  // not owned; rare rebuilds reload the base formula
+  std::vector<Var> projection_;
+  IncrementalBsatOptions options_;
+  std::unique_ptr<Solver> solver_;
+  std::vector<Lit> activations_;         // ¬absorber per active row, in order
+  std::size_t retired_rows_ = 0;         // rows retired on the current build
+  std::uint64_t solves_on_build_ = 0;
+  SolverStats accum_;  // folded stats of retired builds + engine counters
+};
+
+/// Drops the engine's auxiliary variables (absorbers, selectors) from a
+/// model: witnesses are reported over the original formula's `n` variables.
+/// The auxiliaries are deterministic extensions, so nothing is lost.
+inline Model project_model_to_formula(Model m, Var n) {
+  m.resize(static_cast<std::size_t>(n));
+  return m;
+}
+
+inline std::vector<Model> project_models_to_formula(std::vector<Model> models,
+                                                    Var n) {
+  for (Model& m : models) m.resize(static_cast<std::size_t>(n));
+  return models;
+}
+
+}  // namespace unigen

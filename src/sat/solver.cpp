@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/gf2.hpp"
+
 namespace unigen {
 namespace {
 
@@ -25,6 +27,22 @@ double luby(double y, int x) {
 
 }  // namespace
 
+void SolverStats::merge(const SolverStats& other) {
+  decisions += other.decisions;
+  propagations += other.propagations;
+  xor_propagations += other.xor_propagations;
+  conflicts += other.conflicts;
+  restarts += other.restarts;
+  learnt_clauses += other.learnt_clauses;
+  removed_clauses += other.removed_clauses;
+  minimized_literals += other.minimized_literals;
+  gauss_units += other.gauss_units;
+  gauss_rows += other.gauss_rows;
+  solver_rebuilds += other.solver_rebuilds;
+  reused_solves += other.reused_solves;
+  retracted_blocks += other.retracted_blocks;
+}
+
 Solver::Solver() = default;
 Solver::~Solver() = default;
 
@@ -37,6 +55,7 @@ Var Solver::new_var() {
   const bool neg_first =
       options_.random_initial_phase && rng_ ? rng_->flip() : true;
   polarity_.push_back(neg_first ? 1 : 0);
+  is_absorber_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   xor_watches_.emplace_back();
@@ -52,6 +71,15 @@ lbool Solver::fixed_value(Var v) const {
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
+  return add_clause_impl(lits, /*steal=*/true);
+}
+
+bool Solver::add_clause_from(const Lit* lits, std::size_t n) {
+  add_buf_.assign(lits, lits + n);
+  return add_clause_impl(add_buf_, /*steal=*/false);
+}
+
+bool Solver::add_clause_impl(std::vector<Lit>& lits, bool steal) {
   assert(decision_level() == 0);
   if (!ok_) return false;
   std::sort(lits.begin(), lits.end());
@@ -80,15 +108,180 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return ok_;
   }
   auto c = std::make_unique<Clause>();
-  c->lits = std::move(lits);
+  if (steal)
+    c->lits = std::move(lits);
+  else
+    c->lits = lits;
   attach_clause(c.get());
   clauses_.push_back(std::move(c));
   return true;
 }
 
-bool Solver::add_xor(std::vector<Var> vars, bool rhs) {
+void Solver::simplify() {
+  assert(decision_level() == 0);
+  if (!ok_) return;
+  // Level-0 facts never need their reasons again; clearing them unlocks
+  // clauses that acted as reasons for root implications.
+  for (const Lit l : trail_)
+    vardata_[static_cast<std::size_t>(l.var())].reason = Reason{};
+  const auto satisfied = [&](const Clause& c) {
+    for (const Lit l : c.lits)
+      if (value(l) == lbool::True) return true;  // root-level true
+    return false;
+  };
+  const auto sweep = [&](std::vector<std::unique_ptr<Clause>>& db) {
+    std::erase_if(db, [&](const std::unique_ptr<Clause>& up) {
+      if (!satisfied(*up)) return false;
+      detach_clause(up.get());
+      ++stats_.removed_clauses;
+      return true;
+    });
+  };
+  sweep(clauses_);
+  sweep(learnts_);
+}
+
+void Solver::shrink_learnts(std::size_t max_keep) {
+  assert(decision_level() == 0);
+  if (learnts_.size() <= max_keep) return;
+  std::vector<Clause*> removable;
+  removable.reserve(learnts_.size());
+  for (const auto& up : learnts_) {
+    Clause* c = up.get();
+    if (c->lits.size() > 2 && !locked(c)) removable.push_back(c);
+  }
+  const std::size_t always_kept = learnts_.size() - removable.size();
+  if (always_kept >= max_keep) return;  // nothing trimmable below the cap
+  drop_worst_learnts(removable, removable.size() - (max_keep - always_kept));
+}
+
+void Solver::retire_rows(const std::vector<Var>& absorbers) {
+  assert(decision_level() == 0);
+  if (absorbers.empty() || !ok_) return;
+  std::vector<char> retiring(static_cast<std::size_t>(num_vars()), 0);
+  for (const Var v : absorbers) {
+    assert(is_absorber(v));
+    is_absorber_[static_cast<std::size_t>(v)] = 2;
+    retiring[static_cast<std::size_t>(v)] = 1;
+  }
+  const auto mentions_retired = [&](const std::vector<Lit>& lits) {
+    for (const Lit l : lits)
+      if (retiring[static_cast<std::size_t>(l.var())]) return true;
+    return false;
+  };
+  // Learnt clauses mentioning a retiring absorber were implied only
+  // together with the rows being removed; everything else stays.
+  std::erase_if(learnts_, [&](const std::unique_ptr<Clause>& up) {
+    if (!mentions_retired(up->lits)) return false;
+    detach_clause(up.get());
+    ++stats_.removed_clauses;
+    return true;
+  });
+
+  // Partition the XOR system.  Rows with an unassigned retiring absorber
+  // cannot simply be dropped: the priority-local reduction back-substitutes
+  // rows into one another, so base parity information may survive only
+  // inside absorber-carrying combinations.  Existentially eliminating the
+  // retiring columns — pivoting on them FIRST, then discarding the pivot
+  // rows — keeps exactly the retiring-free span: every consequence not
+  // mentioning a retired absorber is preserved, nothing else is.
+  std::vector<XorCls> kept;
+  std::vector<const XorCls*> touched;
+  kept.reserve(xors_.size());
+  for (auto& x : xors_) {
+    if (x.ephemeral) continue;  // redundant pruning row: drop outright, the
+                                // next elimination re-derives it if relevant
+    bool drop = false;
+    for (const Var v : x.vars) {
+      if (value(v) == lbool::Undef && retiring[static_cast<std::size_t>(v)]) {
+        drop = true;
+        break;
+      }
+    }
+    if (drop)
+      touched.push_back(&x);
+    else
+      kept.push_back(std::move(x));
+  }
+
+  if (!touched.empty()) {
+    // Column order: retiring absorbers first so they become the pivots.
+    std::vector<std::uint32_t> col_of(static_cast<std::size_t>(num_vars()), 0);
+    std::vector<char> has_col(static_cast<std::size_t>(num_vars()), 0);
+    std::vector<Var> columns;
+    const auto add_column = [&](Var v) {
+      if (has_col[static_cast<std::size_t>(v)]) return;
+      has_col[static_cast<std::size_t>(v)] = 1;
+      col_of[static_cast<std::size_t>(v)] =
+          static_cast<std::uint32_t>(columns.size());
+      columns.push_back(v);
+    };
+    for (const XorCls* x : touched)
+      for (const Var v : x->vars)
+        if (value(v) == lbool::Undef && retiring[static_cast<std::size_t>(v)])
+          add_column(v);
+    const std::size_t num_retiring = columns.size();
+    for (const XorCls* x : touched)
+      for (const Var v : x->vars)
+        if (value(v) == lbool::Undef) add_column(v);
+
+    Gf2System system(columns.size());
+    std::vector<std::uint32_t> row;
+    for (const XorCls* x : touched) {
+      row.clear();
+      bool rhs = x->rhs;
+      for (const Var v : x->vars) {
+        if (value(v) == lbool::Undef)
+          row.push_back(col_of[static_cast<std::size_t>(v)]);
+        else
+          rhs ^= (value(v) == lbool::True);
+      }
+      if (!system.add_constraint(row, rhs)) {
+        ok_ = false;  // cannot happen: all rows are valid constraints
+        return;
+      }
+    }
+    for (const auto& reduced : system.reduced_rows()) {
+      if (reduced.vars[0] < num_retiring) continue;  // defines a retiring var
+      XorCls combo;
+      combo.rhs = reduced.rhs;
+      combo.vars.reserve(reduced.vars.size());
+      for (const auto col : reduced.vars) combo.vars.push_back(columns[col]);
+      kept.push_back(std::move(combo));
+    }
+  }
+
+  if (!replace_xors(std::move(kept))) return;
+  gauss_done_ = false;
+  // Freeze the now-unmentioned absorbers (value is arbitrary) so they cost
+  // neither decisions nor propagations in any later solve.
+  for (const Var v : absorbers) {
+    if (value(v) == lbool::Undef) {
+      if (!enqueue(Lit(v, true), Reason{})) {
+        ok_ = false;
+        return;
+      }
+    }
+  }
+  if (propagate() != nullptr) ok_ = false;  // cannot happen; defensive
+}
+
+void Solver::set_priority_vars(const std::vector<Var>& vars) {
+  if (vars == priority_request_) return;  // unchanged projection: keep the
+                                          // reduced set and the Gauss state
+  priority_request_ = vars;
+  priority_vars_ = vars;
+  gauss_done_ = false;  // re-run the priority-local reduction for the new set
+}
+
+bool Solver::add_xor(std::vector<Var> vars, bool rhs, bool ephemeral) {
   assert(decision_level() == 0);
   if (!ok_) return false;
+  // Any change to the XOR system (including a row collapsing to a level-0
+  // fact, which alters how existing rows fold) invalidates the previous
+  // Gaussian elimination; without this reset a solver that already ran
+  // solve() would never re-eliminate over rows added afterwards.
+  gauss_done_ = false;
   std::sort(vars.begin(), vars.end());
   std::vector<Var> norm;
   norm.reserve(vars.size());
@@ -118,9 +311,8 @@ bool Solver::add_xor(std::vector<Var> vars, bool rhs) {
     if (propagate() != nullptr) ok_ = false;
     return ok_;
   }
-  xors_.push_back(XorCls{std::move(norm), rhs});
+  xors_.push_back(XorCls{std::move(norm), rhs, ephemeral});
   attach_xor(static_cast<std::int32_t>(xors_.size()) - 1);
-  gauss_done_ = false;  // a fresh XOR system deserves a fresh elimination
   return true;
 }
 
@@ -383,6 +575,24 @@ bool Solver::locked(const Clause* c) const {
          vardata_[static_cast<std::size_t>(first.var())].reason.clause == c;
 }
 
+void Solver::drop_worst_learnts(std::vector<Clause*>& removable,
+                                std::size_t target) {
+  if (target == 0) return;
+  std::sort(removable.begin(), removable.end(),
+            [](const Clause* a, const Clause* b) {
+              if (a->lbd != b->lbd) return a->lbd > b->lbd;  // worst first
+              return a->activity < b->activity;
+            });
+  std::unordered_set<Clause*> doomed(
+      removable.begin(),
+      removable.begin() + static_cast<std::ptrdiff_t>(target));
+  for (Clause* c : doomed) detach_clause(c);
+  std::erase_if(learnts_, [&](const std::unique_ptr<Clause>& up) {
+    return doomed.count(up.get()) > 0;
+  });
+  stats_.removed_clauses += target;
+}
+
 void Solver::reduce_db() {
   std::vector<Clause*> removable;
   removable.reserve(learnts_.size());
@@ -390,19 +600,7 @@ void Solver::reduce_db() {
     Clause* c = up.get();
     if (c->lits.size() > 2 && c->lbd > 2 && !locked(c)) removable.push_back(c);
   }
-  std::sort(removable.begin(), removable.end(),
-            [](const Clause* a, const Clause* b) {
-              if (a->lbd != b->lbd) return a->lbd > b->lbd;  // worst first
-              return a->activity < b->activity;
-            });
-  const std::size_t target = removable.size() / 2;
-  std::unordered_set<Clause*> doomed(removable.begin(),
-                                     removable.begin() + static_cast<std::ptrdiff_t>(target));
-  for (Clause* c : doomed) detach_clause(c);
-  std::erase_if(learnts_, [&](const std::unique_ptr<Clause>& up) {
-    return doomed.count(up.get()) > 0;
-  });
-  stats_.removed_clauses += target;
+  drop_worst_learnts(removable, removable.size() / 2);
   max_learnts_ = static_cast<std::uint64_t>(
       static_cast<double>(max_learnts_) * options_.reduce_db_growth);
 }
@@ -580,6 +778,11 @@ lbool Solver::solve_limited(const std::vector<Lit>& assumptions,
   }
   if (options_.xor_gauss && !gauss_done_ && !xors_.empty()) {
     gauss_done_ = true;
+    // Pivot removal below is relative to the *current* XOR basis; start
+    // from the full requested priority set so that re-eliminations (after
+    // incremental XOR additions/retirements) re-derive a coherent basis
+    // instead of shaving an already-shrunk set further and further.
+    priority_vars_ = priority_request_;
     if (!gauss_preprocess()) {
       ok_ = false;
       return lbool::False;

@@ -41,6 +41,18 @@ struct SolverStats {
   std::uint64_t minimized_literals = 0;
   std::uint64_t gauss_units = 0;
   std::uint64_t gauss_rows = 0;
+  // Incremental-BSAT engine counters, maintained by IncrementalBsat (a
+  // single Solver cannot count its own reconstructions): how often the
+  // persistent solver was torn down and rebuilt, how many BSAT calls were
+  // served by an already-warm solver, and how many blocking clauses were
+  // retired by a selector unit instead of a solver reload.
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t reused_solves = 0;
+  std::uint64_t retracted_blocks = 0;
+
+  /// Accumulates `other` field-wise (used when an engine folds the stats of
+  /// a retired solver into its running totals).
+  void merge(const SolverStats& other);
 };
 
 struct SolverOptions {
@@ -71,8 +83,38 @@ class Solver {
   /// Returns false if the solver is already in an UNSAT state (the clause
   /// may then have been discarded).
   bool add_clause(std::vector<Lit> lits);
-  /// Adds the parity constraint XOR(vars) = rhs.
-  bool add_xor(std::vector<Var> vars, bool rhs);
+  /// Same contract as add_clause, but reads the literals from a
+  /// caller-owned buffer; the caller can keep reusing that buffer (the hot
+  /// enumeration loop adds one blocking clause per model).  Only the
+  /// surviving literals are copied into the stored clause.
+  bool add_clause_from(const Lit* lits, std::size_t n);
+  /// Adds the parity constraint XOR(vars) = rhs.  `ephemeral` marks a
+  /// redundant derived row (see XorCls::ephemeral); callers add real rows.
+  bool add_xor(std::vector<Var> vars, bool rhs, bool ephemeral = false);
+  /// Declares `v` an absorber: a fresh variable folded into exactly one XOR
+  /// hash row so the row can be switched on by assuming the absorber's
+  /// negative literal (and is inert — merely defining `v` — otherwise).
+  /// Gaussian elimination treats absorber columns specially (gaussian.cpp).
+  void mark_absorber(Var v) { is_absorber_[static_cast<std::size_t>(v)] = 1; }
+  /// Retires a whole hash epoch: removes every XOR row containing one of
+  /// the given absorbers, drops the learnt clauses that mention them, and
+  /// freezes the now-unconstrained absorbers at level 0 so search never
+  /// decides or propagates them again.
+  ///
+  /// Soundness: each absorber is fresh and occurs only in its row, so the
+  /// rows are a conservative extension of the rest of the formula — any
+  /// absorber-free consequence (clause or model projection) derivable with
+  /// the rows is derivable without them.  Removing the rows can therefore
+  /// only add total models that differ in absorber values, and the learnt
+  /// clauses that could disagree with the new absorber values are exactly
+  /// the ones that mention them, which are purged here.
+  void retire_rows(const std::vector<Var>& absorbers);
+  bool is_absorber(Var v) const {
+    return is_absorber_[static_cast<std::size_t>(v)] != 0;
+  }
+  bool is_live_absorber(Var v) const {
+    return is_absorber_[static_cast<std::size_t>(v)] == 1;
+  }
   /// Loads an entire formula (variables are created as needed).
   bool load(const Cnf& cnf);
 
@@ -93,6 +135,11 @@ class Solver {
   SolverOptions& options() { return options_; }
   const SolverStats& stats() const { return stats_; }
 
+  // Database-size diagnostics (tests and engine-tuning instrumentation).
+  std::size_t num_xor_rows() const { return xors_.size(); }
+  std::size_t num_problem_clauses() const { return clauses_.size(); }
+  std::size_t num_learnt_clauses() const { return learnts_.size(); }
+
   /// Optional RNG for phase/branching diversification; not owned.
   void set_rng(Rng* rng) { rng_ = rng; }
 
@@ -103,13 +150,28 @@ class Solver {
   /// propagation determines the dependent Tseitin variables — this keeps
   /// parity conflicts shallow and is the projection-aware branching used
   /// by the CryptoMiniSAT-based UniGen/ApproxMC tool family.
-  void set_priority_vars(const std::vector<Var>& vars) {
-    priority_vars_ = vars;
-  }
+  /// A request identical to the previous one is a no-op, so that repeated
+  /// enumerations over an unchanged projection neither re-trigger the
+  /// priority-local Gaussian reduction nor undo its pivot removal.
+  void set_priority_vars(const std::vector<Var>& vars);
 
   /// Value of a variable in the current (level-0) assignment; used by
   /// preprocessing consumers.
   lbool fixed_value(Var v) const;
+
+  /// Level-0 cleanup: drops problem and learnt clauses satisfied by the
+  /// root assignment.  The incremental engine calls this after retracting a
+  /// cell's blocking clauses (the retraction unit satisfies them all), so
+  /// the clause database does not grow with the number of cells counted.
+  void simplify();
+
+  /// Trims the learnt database down to the `max_keep` most valuable clauses
+  /// (lowest LBD, then highest activity), binary and locked clauses always
+  /// kept.  The incremental engine calls this at hash-epoch boundaries:
+  /// within an epoch retained lemmas are hot (the nested hash levels share
+  /// rows), but across epochs most of them are dead weight that a fresh
+  /// solver would not carry.
+  void shrink_learnts(std::size_t max_keep);
 
  private:
   // --- internal clause representation ---
@@ -126,6 +188,13 @@ class Solver {
   struct XorCls {
     std::vector<Var> vars;  // vars[0], vars[1] are the watched positions
     bool rhs = false;
+    /// Redundant row re-injected by Gaussian elimination (a short linear
+    /// combination of the real rows).  Ephemeral rows prune the current
+    /// search but carry no information of their own: they are excluded
+    /// from the elimination bases and dropped wholesale when a hash epoch
+    /// retires, then re-derived if still relevant — otherwise a persistent
+    /// solver would slowly accumulate the span's entire low-weight closure.
+    bool ephemeral = false;
   };
   /// Reason for an implied literal: exactly one of clause / xor id, or
   /// neither for decisions and level-0 facts.
@@ -162,6 +231,12 @@ class Solver {
     return p.sign() ? ~v : v;
   }
   lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  /// Shared core of add_clause / add_clause_from: filters `lits` in place;
+  /// with `steal` the surviving literals are moved into the stored clause.
+  bool add_clause_impl(std::vector<Lit>& lits, bool steal);
+  /// Detaches and erases the `target` worst learnt clauses (highest LBD,
+  /// then lowest activity) from `removable`.
+  void drop_worst_learnts(std::vector<Clause*>& removable, std::size_t target);
   int level(Var v) const { return vardata_[static_cast<std::size_t>(v)].level; }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   bool locked(const Clause* c) const;
@@ -181,6 +256,13 @@ class Solver {
   bool attach_xor(std::int32_t id);
   /// Evaluates parity of assigned vars[from..] of xor `x`.
   bool xor_parity_from(const XorCls& x, std::size_t from) const;
+  /// Replaces the whole XOR database with `rows`: rebuilds the watch
+  /// lists, restores the invariant that watched positions 0 and 1 are
+  /// unassigned, folds rows with fewer than two unassigned variables into
+  /// consistency checks / root units, and clears stale xor-id reasons on
+  /// the (level-0) trail.  Returns false (setting ok_) on inconsistency.
+  /// Callers decide whether the change warrants re-running Gauss.
+  bool replace_xors(std::vector<XorCls> rows);
   // --- Gaussian elimination (gaussian.cpp) ---
   bool gauss_preprocess();
   /// RREF over the XOR rows local to the priority (sampling) set: replaces
@@ -217,7 +299,9 @@ class Solver {
   std::vector<std::int32_t> heap_pos_;  // var -> heap index, -1 if absent
   std::vector<Var> heap_;
   std::vector<char> polarity_;  // saved phase (true = assign negative)
+  std::vector<char> is_absorber_;  // hash-row activation variables
   std::vector<Var> priority_vars_;
+  std::vector<Var> priority_request_;  // last set_priority_vars argument
 
   Model model_;
   std::uint64_t max_learnts_ = 0;
@@ -228,6 +312,7 @@ class Solver {
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_toclear_;
   std::vector<Lit> reason_buf_;
+  std::vector<Lit> add_buf_;  // scratch for add_clause_from
   Clause xor_confl_buf_;
 };
 

@@ -21,6 +21,41 @@ bool Solver::attach_xor(std::int32_t id) {
   return true;
 }
 
+bool Solver::replace_xors(std::vector<XorCls> rows) {
+  assert(decision_level() == 0);
+  // Stale xor-id reasons can only belong to level-0 literals, whose
+  // reasons are never materialized, but clear them anyway.
+  for (const Lit l : trail_)
+    vardata_[static_cast<std::size_t>(l.var())].reason = Reason{};
+  for (auto& ws : xor_watches_) ws.clear();
+  xors_.clear();
+  for (auto& x : rows) {
+    std::size_t unassigned = 0;
+    for (std::size_t k = 0; k < x.vars.size() && unassigned < 2; ++k) {
+      if (value(x.vars[k]) == lbool::Undef)
+        std::swap(x.vars[unassigned++], x.vars[k]);
+    }
+    if (unassigned == 0) {
+      if (xor_parity_from(x, 0) != x.rhs) {
+        ok_ = false;
+        return false;
+      }
+      continue;  // permanently satisfied
+    }
+    if (unassigned == 1) {
+      const bool needed = x.rhs ^ xor_parity_from(x, 1);
+      if (!enqueue(Lit(x.vars[0], !needed), Reason{})) {
+        ok_ = false;
+        return false;
+      }
+      continue;
+    }
+    xors_.push_back(std::move(x));
+    attach_xor(static_cast<std::int32_t>(xors_.size()) - 1);
+  }
+  return true;
+}
+
 bool Solver::xor_parity_from(const XorCls& x, std::size_t from) const {
   bool parity = false;
   for (std::size_t k = from; k < x.vars.size(); ++k) {

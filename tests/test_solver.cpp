@@ -204,6 +204,73 @@ TEST(Solver, ExpiredDeadlineReturnsUndef) {
   EXPECT_EQ(s.solve_limited({}, Deadline::in_seconds(0.0), 0), lbool::Undef);
 }
 
+TEST(Solver, GaussRunsOnXorsAddedAfterSolve) {
+  // Regression: a solver that already ran solve() (gauss_done_ set) must
+  // re-run Gaussian elimination over XOR rows added afterwards.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({pos(a), pos(b), pos(c)});
+  ASSERT_EQ(s.solve(), lbool::True);
+  EXPECT_EQ(s.stats().gauss_rows, 0u);
+  // x0^x1 = 1 and x0^x1^x2 = 1 imply x2 = 0 — but only elimination sees it
+  // eagerly; the watch scheme alone would discover it during search.
+  ASSERT_TRUE(s.add_xor({a, b}, true));
+  ASSERT_TRUE(s.add_xor({a, b, c}, true));
+  ASSERT_EQ(s.solve(), lbool::True);
+  EXPECT_GT(s.stats().gauss_rows, 0u);
+  EXPECT_GT(s.stats().gauss_units, 0u);
+  EXPECT_EQ(s.fixed_value(c), lbool::False);
+}
+
+TEST(Solver, AddClauseFromMatchesAddClause) {
+  Rng rng(29);
+  for (int round = 0; round < 20; ++round) {
+    const Cnf cnf = random_cnf(9, 30, 3, rng);
+    Solver via_vector;
+    via_vector.load(cnf);
+    Solver via_buffer;
+    while (via_buffer.num_vars() < cnf.num_vars()) via_buffer.new_var();
+    bool ok = true;
+    for (const auto& clause : cnf.clauses())
+      ok = via_buffer.add_clause_from(clause.data(), clause.size()) && ok;
+    EXPECT_EQ(via_vector.solve(), via_buffer.solve()) << "round " << round;
+  }
+}
+
+TEST(Solver, AbsorberActivatedXorToggles) {
+  // XOR(a, b, absorber) = 1: inert while the absorber is free, equivalent
+  // to a^b=1 under the assumption ¬absorber.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var z = s.new_var();
+  s.mark_absorber(z);
+  ASSERT_TRUE(s.add_xor({a, b, z}, true));
+  // Inert: both equal-value assignments of (a, b) remain possible.
+  ASSERT_EQ(s.solve({pos(a), pos(b)}), lbool::True);
+  ASSERT_EQ(s.solve({neg(a), neg(b)}), lbool::True);
+  // Active: a^b = 1 forbids equal values.
+  ASSERT_EQ(s.solve({neg(z), pos(a), pos(b)}), lbool::False);
+  ASSERT_EQ(s.solve({neg(z), pos(a), neg(b)}), lbool::True);
+  EXPECT_TRUE(s.okay());
+}
+
+TEST(Solver, RetireRowsRemovesConstraintAndFreezesAbsorber) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var z = s.new_var();
+  s.mark_absorber(z);
+  ASSERT_TRUE(s.add_xor({a, b, z}, true));
+  ASSERT_EQ(s.solve({neg(z), pos(a), pos(b)}), lbool::False);
+  s.retire_rows({z});
+  // The row is gone: (a, b) unconstrained again, absorber fixed at root.
+  ASSERT_EQ(s.solve({pos(a), pos(b)}), lbool::True);
+  EXPECT_NE(s.fixed_value(z), lbool::Undef);
+}
+
 TEST(Solver, StatsAreTracked) {
   Rng rng(11);
   const Cnf cnf = random_cnf(30, 126, 3, rng);
