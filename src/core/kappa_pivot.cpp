@@ -34,11 +34,15 @@ KappaPivot compute_kappa_pivot(double epsilon) {
   const double inv = 1.0 + 1.0 / result.kappa;
   result.pivot = static_cast<std::uint64_t>(
       std::ceil(3.0 * std::exp(0.5) * inv * inv));
+  // Algorithm 2's acceptance band is √2 wider than [pivot/(1+κ),
+  // (1+κ)·pivot] on each side; dropping the √2 factors rejects cells the
+  // analysis counts as good and voids the Theorem-1 uniformity bound.
+  const double sqrt2 = std::sqrt(2.0);
   result.hi_thresh = static_cast<std::uint64_t>(
-      std::floor(1.0 + (1.0 + result.kappa) *
-                           static_cast<double>(result.pivot)));
+      std::ceil(1.0 + sqrt2 * (1.0 + result.kappa) *
+                          static_cast<double>(result.pivot)));
   result.lo_thresh =
-      static_cast<double>(result.pivot) / (1.0 + result.kappa);
+      static_cast<double>(result.pivot) / (sqrt2 * (1.0 + result.kappa));
   return result;
 }
 

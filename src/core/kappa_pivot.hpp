@@ -4,8 +4,8 @@
 //
 //   find κ ∈ [0,1)  with  ε = (1+κ)(2.23 + 0.48/(1−κ)²) − 1
 //   pivot    = ⌈3·e^{1/2}·(1 + 1/κ)²⌉
-//   hiThresh = 1 + (1+κ)·pivot
-//   loThresh = pivot / (1+κ)
+//   hiThresh = ⌈1 + √2·(1+κ)·pivot⌉
+//   loThresh = pivot / (√2·(1+κ))
 //
 // The tolerance must exceed 1.71: at κ → 0 the defining expression evaluates
 // to 1.71, so smaller ε admits no κ (the paper's "for technical reasons").

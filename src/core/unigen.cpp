@@ -7,6 +7,183 @@
 #include "util/timer.hpp"
 
 namespace unigen {
+namespace {
+
+/// Lexicographic order on equal-length total assignments.  lbool's
+/// underlying values (False=0, True=1) make this the natural 0/1-string
+/// order over the formula variables.
+bool model_lex_less(const Model& a, const Model& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](lbool x, lbool y) {
+        return static_cast<std::uint8_t>(x) < static_cast<std::uint8_t>(y);
+      });
+}
+
+/// Copies the engine counters of `engine` into `stats` (totals, not
+/// deltas: the engine already accumulates across rebuilds).
+void sync_engine_stats(const IncrementalBsat& engine, UniGenStats& stats) {
+  const SolverStats st = engine.stats();
+  stats.solver_rebuilds = st.solver_rebuilds;
+  stats.reused_solves = st.reused_solves;
+  stats.retracted_blocks = st.retracted_blocks;
+}
+
+}  // namespace
+
+std::unique_ptr<IncrementalBsat> unigen_prepare(
+    const Cnf& cnf, const std::vector<Var>& sampling_set,
+    const UniGenOptions& options, Rng& rng, UniGenPrepared& prep,
+    UniGenStats& stats) {
+  const Stopwatch watch;
+  const Deadline deadline = Deadline::in_seconds(options.prepare_timeout_s);
+
+  // Lines 1–3: thresholds.
+  prep.kp = compute_kappa_pivot(options.epsilon);
+  stats.kappa = prep.kp.kappa;
+  stats.pivot = prep.kp.pivot;
+  stats.hi_thresh = prep.kp.hi_thresh;
+  stats.lo_thresh = prep.kp.lo_thresh;
+
+  // Lines 4–7: the easy case — enumerate up to hiThresh+1 witnesses; when
+  // at most hiThresh exist, uniform sampling is exact.  This builds the
+  // persistent engine a later accept_cell can reuse; the blocking clauses
+  // of the check are retracted, so the hashed queries start from the
+  // unblocked formula plus whatever the solver learnt here.
+  auto engine = std::make_unique<IncrementalBsat>(cnf, sampling_set);
+  {
+    EnumerateResult r =
+        engine->enumerate_cell(0, prep.kp.hi_thresh + 1, deadline, true);
+    ++stats.prepare_bsat_calls;
+    sync_engine_stats(*engine, stats);
+    if (r.timed_out) {
+      prep.mode = UniGenPrepared::Mode::kTimedOut;
+      stats.prepare_seconds = watch.seconds();
+      return nullptr;
+    }
+    if (r.count == 0) {
+      prep.mode = UniGenPrepared::Mode::kUnsat;
+      stats.prepare_seconds = watch.seconds();
+      return nullptr;  // no hashed query will ever run
+    }
+    if (r.count <= prep.kp.hi_thresh) {
+      prep.trivial_models =
+          project_models_to_formula(std::move(r.models), cnf.num_vars());
+      // Canonical order: trivial_models[j] must denote the same witness no
+      // matter which solver history produced the enumeration.
+      std::sort(prep.trivial_models.begin(), prep.trivial_models.end(),
+                model_lex_less);
+      stats.trivial = true;
+      prep.mode = UniGenPrepared::Mode::kTrivial;
+      stats.prepare_seconds = watch.seconds();
+      return nullptr;
+    }
+  }
+
+  // Lines 9–10: C <- ApproxModelCounter(F, 0.8, 0.8);
+  //             q <- ceil(log C + log 1.8 - log pivot)    (logs base 2).
+  ApproxMcOptions amc;
+  amc.epsilon = options.counter_epsilon;
+  amc.delta = 1.0 - options.counter_confidence;
+  amc.deadline = deadline;
+  amc.bsat_timeout_s = options.bsat_timeout_s;
+  const ApproxMcResult count = approx_count(cnf, amc, rng);
+  stats.prepare_bsat_calls += count.bsat_calls;
+  stats.counter_solver_rebuilds = count.solver_rebuilds;
+  if (!count.valid) {
+    prep.mode = UniGenPrepared::Mode::kTimedOut;
+    stats.prepare_seconds = watch.seconds();
+    return nullptr;
+  }
+  prep.approx_log2_count = count.log2_value();
+  stats.approx_log2_count = prep.approx_log2_count;
+  prep.q = static_cast<int>(std::ceil(
+      prep.approx_log2_count + std::log2(1.8) -
+      std::log2(static_cast<double>(prep.kp.pivot))));
+  stats.q = prep.q;
+
+  prep.mode = UniGenPrepared::Mode::kHashed;
+  stats.prepare_seconds = watch.seconds();
+  return engine;
+}
+
+std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
+                                      const std::vector<Var>& sampling_set,
+                                      const UniGenPrepared& prep,
+                                      const UniGenOptions& options,
+                                      Var formula_vars, Rng& rng,
+                                      UniGenStats& stats, bool& timed_out) {
+  // Lines 12–17.  i ranges over {q-3, ..., q}, clamped to valid hash sizes.
+  timed_out = false;
+  const Deadline deadline = Deadline::in_seconds(options.sample_timeout_s);
+  const int n = static_cast<int>(sampling_set.size());
+  const int i_last = std::clamp(prep.q, 1, n);
+  const int i_first = std::clamp(prep.q - 3, 1, i_last);
+
+  for (int i = i_first; i <= i_last; ++i) {
+    for (;;) {  // BSAT-timeout retry loop: repeat lines 14-16 with same i
+      if (deadline.expired()) {
+        timed_out = true;
+        return {};
+      }
+
+      // Lines 14–15: random h from H_xor(|S|, i, 3), random α.
+      const XorHash hash =
+          draw_xor_hash(sampling_set, static_cast<std::size_t>(i), rng);
+      stats.total_xor_rows += hash.m();
+      stats.total_xor_row_length +=
+          hash.average_row_length() * static_cast<double>(hash.m());
+
+      // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh), on the persistent
+      // engine: the rows go in absorber-activated (the previous attempt's
+      // rows become inert), so no CNF copy and no solver rebuild happens —
+      // and everything learnt in earlier samples keeps working for us.
+      engine.begin_hash();
+      engine.push_rows(hash);
+      const double budget = std::min(options.bsat_timeout_s,
+                                     deadline.remaining_seconds());
+      EnumerateResult r = engine.enumerate_cell(
+          static_cast<std::size_t>(i), prep.kp.hi_thresh + 1,
+          Deadline::in_seconds(budget), true);
+      ++stats.sample_bsat_calls;
+      sync_engine_stats(engine, stats);
+
+      if (r.timed_out) {
+        ++stats.bsat_timeout_retries;
+        continue;  // same i, fresh hash (paper Section 5)
+      }
+      // Line 17 acceptance test: loThresh <= |Y| <= hiThresh.
+      if (static_cast<double>(r.count) >= prep.kp.lo_thresh &&
+          r.count <= prep.kp.hi_thresh) {
+        std::vector<Model> cell =
+            project_models_to_formula(std::move(r.models), formula_vars);
+        // Canonical order (see the header contract): the index a caller's
+        // RNG then draws selects the same witness on every replica.
+        std::sort(cell.begin(), cell.end(), model_lex_less);
+        return cell;
+      }
+      break;  // cell out of range: next i
+    }
+  }
+  return {};  // line 19: ⊥
+}
+
+Model unigen_trivial_single(const UniGenPrepared& prep, Rng& rng) {
+  return prep.trivial_models[rng.below(prep.trivial_models.size())];
+}
+
+std::vector<Model> unigen_trivial_batch(const UniGenPrepared& prep,
+                                        std::size_t max_batch, Rng& rng) {
+  std::vector<std::size_t> order(prep.trivial_models.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  rng.shuffle(order);
+  const std::size_t take = std::min(max_batch, prep.trivial_models.size());
+  std::vector<Model> batch;
+  batch.reserve(take);
+  for (std::size_t k = 0; k < take; ++k)
+    batch.push_back(prep.trivial_models[order[k]]);
+  return batch;
+}
 
 UniGen::UniGen(Cnf cnf, UniGenOptions options, Rng& rng)
     : cnf_(std::move(cnf)),
@@ -14,86 +191,15 @@ UniGen::UniGen(Cnf cnf, UniGenOptions options, Rng& rng)
       options_(options),
       rng_(rng) {}
 
-void UniGen::sync_engine_stats() {
-  if (!engine_) return;
-  const SolverStats st = engine_->stats();
-  stats_.solver_rebuilds = st.solver_rebuilds;
-  stats_.reused_solves = st.reused_solves;
-  stats_.retracted_blocks = st.retracted_blocks;
-}
-
 bool UniGen::prepare() {
-  if (mode_ != Mode::kUnprepared) return mode_ != Mode::kTimedOut;
-  const Stopwatch watch;
-  const Deadline deadline = Deadline::in_seconds(options_.prepare_timeout_s);
-
-  // Lines 1–3: thresholds.
-  kp_ = compute_kappa_pivot(options_.epsilon);
-  stats_.kappa = kp_.kappa;
-  stats_.pivot = kp_.pivot;
-  stats_.hi_thresh = kp_.hi_thresh;
-  stats_.lo_thresh = kp_.lo_thresh;
-
-  // Lines 4–7: the easy case — enumerate up to hiThresh+1 witnesses; when
-  // at most hiThresh exist, uniform sampling is exact.  This builds the
-  // persistent engine that every later accept_cell reuses; the blocking
-  // clauses of the check are retracted, so the hashed queries start from
-  // the unblocked formula plus whatever the solver learnt here.
-  engine_ = std::make_unique<IncrementalBsat>(cnf_, sampling_set_);
-  {
-    EnumerateResult r =
-        engine_->enumerate_cell(0, kp_.hi_thresh + 1, deadline, true);
-    ++stats_.prepare_bsat_calls;
-    sync_engine_stats();
-    if (r.timed_out) {
-      mode_ = Mode::kTimedOut;
-      stats_.prepare_seconds = watch.seconds();
-      return false;
-    }
-    if (r.count == 0) {
-      engine_.reset();  // no hashed query will ever run
-      mode_ = Mode::kUnsat;
-      stats_.prepare_seconds = watch.seconds();
-      return true;
-    }
-    if (r.count <= kp_.hi_thresh) {
-      trivial_models_ =
-          project_models_to_formula(std::move(r.models), cnf_.num_vars());
-      engine_.reset();
-      stats_.trivial = true;
-      mode_ = Mode::kTrivial;
-      stats_.prepare_seconds = watch.seconds();
-      return true;
-    }
-  }
-
-  // Lines 9–10: C <- ApproxModelCounter(F, 0.8, 0.8);
-  //             q <- ceil(log C + log 1.8 - log pivot)    (logs base 2).
-  ApproxMcOptions amc;
-  amc.epsilon = options_.counter_epsilon;
-  amc.delta = 1.0 - options_.counter_confidence;
-  amc.deadline = deadline;
-  amc.bsat_timeout_s = options_.bsat_timeout_s;
-  const ApproxMcResult count = approx_count(cnf_, amc, rng_);
-  stats_.prepare_bsat_calls += count.bsat_calls;
-  stats_.counter_solver_rebuilds = count.solver_rebuilds;
-  if (!count.valid) {
-    mode_ = Mode::kTimedOut;
-    stats_.prepare_seconds = watch.seconds();
-    return false;
-  }
-  stats_.approx_log2_count = count.log2_value();
-  stats_.q = static_cast<int>(std::ceil(
-      count.log2_value() + std::log2(1.8) -
-      std::log2(static_cast<double>(kp_.pivot))));
-
-  mode_ = Mode::kHashed;
-  stats_.prepare_seconds = watch.seconds();
-  return true;
+  if (prepared_) return prep_.usable();
+  engine_ = unigen_prepare(cnf_, sampling_set_, options_, rng_, prep_, stats_);
+  prepared_ = true;
+  return prep_.usable();
 }
 
 SampleResult UniGen::sample() {
-  if (mode_ == Mode::kUnprepared && !prepare()) {
+  if (!prepared_ && !prepare()) {
     ++stats_.samples_requested;
     ++stats_.samples_timed_out;
     return SampleResult::timeout();
@@ -101,24 +207,19 @@ SampleResult UniGen::sample() {
   ++stats_.samples_requested;
   const Stopwatch watch;
   SampleResult result;
-  switch (mode_) {
-    case Mode::kUnsat:
+  switch (prep_.mode) {
+    case UniGenPrepared::Mode::kUnsat:
       result = SampleResult::unsat();
       break;
-    case Mode::kTimedOut:
+    case UniGenPrepared::Mode::kTimedOut:
       result = SampleResult::timeout();
       break;
-    case Mode::kTrivial: {
+    case UniGenPrepared::Mode::kTrivial:
       // Lines 5–7: a uniformly random element of the full witness list.
-      const auto j = rng_.below(trivial_models_.size());
-      result = SampleResult::success(trivial_models_[j]);
+      result = SampleResult::success(unigen_trivial_single(prep_, rng_));
       break;
-    }
-    case Mode::kHashed:
+    case UniGenPrepared::Mode::kHashed:
       result = sample_hashed();
-      break;
-    case Mode::kUnprepared:
-      result = SampleResult::timeout();  // unreachable
       break;
   }
   stats_.sample_seconds += watch.seconds();
@@ -139,54 +240,8 @@ SampleResult UniGen::sample() {
 }
 
 std::vector<Model> UniGen::accept_cell(bool& timed_out) {
-  // Lines 12–17.  i ranges over {q-3, ..., q}, clamped to valid hash sizes.
-  timed_out = false;
-  const Deadline deadline = Deadline::in_seconds(options_.sample_timeout_s);
-  const int n = static_cast<int>(sampling_set_.size());
-  const int i_last = std::clamp(stats_.q, 1, n);
-  const int i_first = std::clamp(stats_.q - 3, 1, i_last);
-
-  for (int i = i_first; i <= i_last; ++i) {
-    for (;;) {  // BSAT-timeout retry loop: repeat lines 14-16 with same i
-      if (deadline.expired()) {
-        timed_out = true;
-        return {};
-      }
-
-      // Lines 14–15: random h from H_xor(|S|, i, 3), random α.
-      const XorHash hash =
-          draw_xor_hash(sampling_set_, static_cast<std::size_t>(i), rng_);
-      stats_.total_xor_rows += hash.m();
-      stats_.total_xor_row_length +=
-          hash.average_row_length() * static_cast<double>(hash.m());
-
-      // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh), on the persistent
-      // engine: the rows go in absorber-activated (the previous attempt's
-      // rows become inert), so no CNF copy and no solver rebuild happens —
-      // and everything learnt in earlier samples keeps working for us.
-      engine_->begin_hash();
-      engine_->push_rows(hash);
-      const double budget = std::min(options_.bsat_timeout_s,
-                                     deadline.remaining_seconds());
-      EnumerateResult r = engine_->enumerate_cell(
-          static_cast<std::size_t>(i), kp_.hi_thresh + 1,
-          Deadline::in_seconds(budget), true);
-      ++stats_.sample_bsat_calls;
-      sync_engine_stats();
-
-      if (r.timed_out) {
-        ++stats_.bsat_timeout_retries;
-        continue;  // same i, fresh hash (paper Section 5)
-      }
-      // Line 17 acceptance test: loThresh <= |Y| <= hiThresh.
-      if (static_cast<double>(r.count) >= kp_.lo_thresh &&
-          r.count <= kp_.hi_thresh) {
-        return project_models_to_formula(std::move(r.models), cnf_.num_vars());
-      }
-      break;  // cell out of range: next i
-    }
-  }
-  return {};  // line 19: ⊥
+  return unigen_accept_cell(*engine_, sampling_set_, prep_, options_,
+                            cnf_.num_vars(), rng_, stats_, timed_out);
 }
 
 SampleResult UniGen::sample_hashed() {
@@ -201,34 +256,46 @@ SampleResult UniGen::sample_hashed() {
 
 std::vector<Model> UniGen::sample_batch(std::size_t max_batch) {
   if (max_batch == 0) return {};
-  if (mode_ == Mode::kUnprepared && !prepare()) return {};
-  switch (mode_) {
-    case Mode::kUnsat:
-    case Mode::kTimedOut:
-      return {};
-    case Mode::kTrivial: {
-      // A uniform subset of the full witness list.
-      std::vector<std::size_t> order(trivial_models_.size());
-      for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
-      rng_.shuffle(order);
-      std::vector<Model> batch;
-      const std::size_t take = std::min(max_batch, trivial_models_.size());
-      batch.reserve(take);
-      for (std::size_t k = 0; k < take; ++k)
-        batch.push_back(trivial_models_[order[k]]);
-      return batch;
-    }
-    case Mode::kHashed:
-      break;
-    case Mode::kUnprepared:
-      return {};  // unreachable
+  if (!prepared_ && !prepare()) {
+    ++stats_.samples_requested;
+    ++stats_.samples_timed_out;
+    return {};
   }
-  bool timed_out = false;
-  std::vector<Model> cell = accept_cell(timed_out);
-  if (cell.empty()) return {};
-  rng_.shuffle(cell);
-  if (cell.size() > max_batch) cell.resize(max_batch);
-  return cell;
+  // One batch request is one line-12–22 run: account it exactly like
+  // sample() so success_rate() means the same thing on both paths.
+  ++stats_.samples_requested;
+  const Stopwatch watch;
+  std::vector<Model> batch;
+  switch (prep_.mode) {
+    case UniGenPrepared::Mode::kUnsat:
+      break;  // like sample(): kUnsat is neither success nor failure
+    case UniGenPrepared::Mode::kTimedOut:
+      ++stats_.samples_timed_out;
+      break;
+    case UniGenPrepared::Mode::kTrivial:
+      batch = unigen_trivial_batch(prep_, max_batch, rng_);
+      ++stats_.samples_ok;
+      break;
+    case UniGenPrepared::Mode::kHashed: {
+      bool timed_out = false;
+      std::vector<Model> cell = accept_cell(timed_out);
+      if (timed_out) {
+        ++stats_.samples_timed_out;
+        break;
+      }
+      if (cell.empty()) {
+        ++stats_.samples_failed;  // ⊥, distinct from a timeout
+        break;
+      }
+      rng_.shuffle(cell);
+      if (cell.size() > max_batch) cell.resize(max_batch);
+      batch = std::move(cell);
+      ++stats_.samples_ok;
+      break;
+    }
+  }
+  stats_.sample_seconds += watch.seconds();
+  return batch;
 }
 
 }  // namespace unigen

@@ -93,6 +93,60 @@ struct UniGenStats {
   }
 };
 
+/// Everything Algorithm 1's one-time phase (lines 1–11) produces: the
+/// acceptance thresholds, the candidate hash-count anchor q, and — in the
+/// easy case — the complete witness list.  Immutable after unigen_prepare
+/// returns, which is what makes it shareable: N per-thread samplers
+/// (service/sampler_pool.hpp) run lines 12–22 concurrently against one
+/// UniGenPrepared, each with a private engine and RNG stream.
+struct UniGenPrepared {
+  enum class Mode { kTrivial, kHashed, kUnsat, kTimedOut };
+  Mode mode = Mode::kTimedOut;
+  KappaPivot kp;
+  int q = 0;  ///< ⌈log C + log 1.8 − log pivot⌉ (hashed mode only)
+  double approx_log2_count = 0.0;
+  std::vector<Model> trivial_models;  ///< easy case: the full witness list
+
+  bool usable() const { return mode != Mode::kTimedOut; }
+};
+
+/// Lines 1–11 run once per formula: ComputeKappaPivot, the easy-case
+/// enumeration, and (when the instance is hashed) one ApproxMC call fixing
+/// q.  Fills `prep` and the prepare-time fields of `stats`.  Returns the
+/// persistent engine the easy-case check warmed up when the instance ends
+/// up in hashed mode — the caller's first cell sampler can adopt it instead
+/// of building its own — and nullptr otherwise.
+std::unique_ptr<IncrementalBsat> unigen_prepare(
+    const Cnf& cnf, const std::vector<Var>& sampling_set,
+    const UniGenOptions& options, Rng& rng, UniGenPrepared& prep,
+    UniGenStats& stats);
+
+/// Lines 12–17 against a caller-owned engine and RNG stream: draws hashes
+/// until a cell lands in [loThresh, hiThresh]; returns its witnesses in
+/// *canonical (lexicographic) order* — enumeration order depends on the
+/// solver's learnt-clause history, so sorting is what makes the drawn
+/// witness a pure function of (formula, prep, rng), the determinism
+/// contract the parallel service relies on.  Empty = ⊥; a deadline expiry
+/// is signalled via `timed_out`.  `formula_vars` is Cnf::num_vars() (models
+/// are projected back onto the formula's variables).  Thread-safe as long
+/// as engine/rng/stats are private to the calling thread.
+std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
+                                      const std::vector<Var>& sampling_set,
+                                      const UniGenPrepared& prep,
+                                      const UniGenOptions& options,
+                                      Var formula_vars, Rng& rng,
+                                      UniGenStats& stats, bool& timed_out);
+
+/// Lines 5–7 (easy case): one uniform draw from the full witness list.
+/// Shared by UniGen and the pool so trivial-mode semantics cannot drift
+/// between the single-engine and the parallel path.
+Model unigen_trivial_single(const UniGenPrepared& prep, Rng& rng);
+
+/// Easy-case batch: a uniform subset of up to `max_batch` distinct
+/// witnesses from the full list.
+std::vector<Model> unigen_trivial_batch(const UniGenPrepared& prep,
+                                        std::size_t max_batch, Rng& rng);
+
 class UniGen final : public WitnessSampler {
  public:
   /// `cnf` is copied.  The sampling set S is taken from the formula
@@ -110,34 +164,34 @@ class UniGen final : public WitnessSampler {
   /// hash cell, amortizing one hashed BSAT query over many witnesses.
   /// Within a batch, witnesses are exchangeable (a uniform subset of the
   /// cell) but not independent across the batch; callers wanting i.i.d.
-  /// draws should use sample().  Returns an empty vector on ⊥/timeout.
+  /// draws should use sample().  Returns an empty vector on ⊥/timeout; the
+  /// outcome is accounted in stats() exactly like sample() (one request,
+  /// with ⊥ and timeout kept distinct), so success_rate() is comparable
+  /// across both entry points.
   std::vector<Model> sample_batch(std::size_t max_batch);
 
   const UniGenStats& stats() const { return stats_; }
   const UniGenOptions& options() const { return options_; }
+  /// The shared-state view of this instance after prepare() (what a
+  /// SamplerPool hands to its per-thread workers).
+  const UniGenPrepared& prepared() const { return prep_; }
 
  private:
-  enum class Mode { kUnprepared, kTrivial, kHashed, kUnsat, kTimedOut };
-
   /// Lines 12–17: draws hashes until a cell lands in the acceptance
   /// window; returns its witnesses (empty = ⊥, timeout signalled via
   /// `timed_out`).
   std::vector<Model> accept_cell(bool& timed_out);
   SampleResult sample_hashed();
 
-  /// Copies the sampling-engine counters into stats_.
-  void sync_engine_stats();
-
   Cnf cnf_;
   std::vector<Var> sampling_set_;
   UniGenOptions options_;
   Rng& rng_;
-  KappaPivot kp_;
-  Mode mode_ = Mode::kUnprepared;
-  std::vector<Model> trivial_models_;  // the easy case's full witness list
+  bool prepared_ = false;
+  UniGenPrepared prep_;
   /// The persistent BSAT engine: built once in prepare(), reused by every
-  /// accept_cell across all samples (released again when the instance turns
-  /// out to be trivial/UNSAT and no hashed queries will ever run).
+  /// accept_cell across all samples (absent when the instance turns out to
+  /// be trivial/UNSAT and no hashed queries will ever run).
   std::unique_ptr<IncrementalBsat> engine_;
   UniGenStats stats_;
 };

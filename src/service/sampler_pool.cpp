@@ -1,0 +1,264 @@
+#include "service/sampler_pool.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace unigen {
+
+// One fan-out: `count` requests pulled from an atomic cursor.  Lives on the
+// dispatcher's stack for the duration of run_job; `active` (mutex-guarded)
+// counts workers still attached, so the dispatcher never returns — and the
+// Job never dies — while a worker could still touch it.
+struct SamplerPool::Job {
+  enum class Kind { kSingles, kBatches };
+  Kind kind = Kind::kSingles;
+  std::size_t count = 0;
+  std::size_t max_batch = 0;
+  std::uint64_t first_stream = 0;  ///< rng stream of request 0
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t active = 0;  // guarded by SamplerPool::mu_
+  std::vector<SampleResult>* singles = nullptr;
+  std::vector<BatchResult>* batches = nullptr;
+};
+
+SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
+    : cnf_(std::move(cnf)),
+      sampling_set_(cnf_.sampling_set_or_all()),
+      options_(options),
+      base_rng_(options.seed) {
+  std::size_t n = options_.num_threads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.resize(n);
+}
+
+SamplerPool::~SamplerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool SamplerPool::prepare() {
+  if (prepared_) return prep_.usable();
+  Rng prepare_rng = base_rng_.fork_stream(0);
+  auto engine = unigen_prepare(cnf_, sampling_set_, options_.unigen,
+                               prepare_rng, prep_, prepare_stats_);
+  prepared_ = true;
+  if (prep_.mode == UniGenPrepared::Mode::kHashed) {
+    // Worker 0 adopts the engine the easy-case check already built (and
+    // warmed with learnt clauses); the others build theirs on first use.
+    workers_[0].engine = std::move(engine);
+    threads_.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+      threads_.emplace_back([this, i] { worker_main(i); });
+  }
+  return prep_.usable();
+}
+
+void SamplerPool::worker_main(std::size_t worker_index) {
+  Worker& worker = workers_[worker_index];
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;  // null when the job already finished without us
+      if (job != nullptr) ++job->active;
+    }
+    if (job == nullptr) continue;
+    for (;;) {
+      const std::size_t k = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= job->count) break;
+      serve(worker, *job, k);
+      job->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --job->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void SamplerPool::serve(Worker& worker, Job& job, std::size_t k) {
+  if (!worker.engine)
+    worker.engine = std::make_unique<IncrementalBsat>(cnf_, sampling_set_);
+  // All randomness of request k comes from its keyed stream — identical no
+  // matter which worker runs this.
+  Rng rng = base_rng_.fork_stream(job.first_stream + k);
+  bool timed_out = false;
+  std::vector<Model> cell =
+      unigen_accept_cell(*worker.engine, sampling_set_, prep_, options_.unigen,
+                         cnf_.num_vars(), rng, worker.stats, timed_out);
+  if (job.kind == Job::Kind::kSingles) {
+    SampleResult& out = (*job.singles)[k];
+    if (timed_out)
+      out = SampleResult::timeout();
+    else if (cell.empty())
+      out = SampleResult::failure();
+    else
+      out = SampleResult::success(std::move(cell[rng.below(cell.size())]));
+  } else {
+    BatchResult& out = (*job.batches)[k];
+    if (timed_out) {
+      out.status = SampleResult::Status::kTimeout;
+    } else if (cell.empty()) {
+      out.status = SampleResult::Status::kFail;
+    } else {
+      rng.shuffle(cell);
+      if (cell.size() > job.max_batch) cell.resize(job.max_batch);
+      out.status = SampleResult::Status::kOk;
+      out.models = std::move(cell);
+    }
+  }
+  ++worker.served;
+}
+
+void SamplerPool::run_job(Job& job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job.done.load(std::memory_order_acquire) == job.count &&
+           job.active == 0;
+  });
+  // Cleared under the lock: a worker waking late sees job_ == nullptr and
+  // goes back to sleep instead of touching the dead job.
+  job_ = nullptr;
+}
+
+SampleResult SamplerPool::inline_single(std::uint64_t stream) {
+  switch (prep_.mode) {
+    case UniGenPrepared::Mode::kUnsat:
+      return SampleResult::unsat();
+    case UniGenPrepared::Mode::kTrivial: {
+      Rng rng = base_rng_.fork_stream(stream);
+      return SampleResult::success(unigen_trivial_single(prep_, rng));
+    }
+    default:
+      return SampleResult::timeout();
+  }
+}
+
+BatchResult SamplerPool::inline_batch(std::uint64_t stream,
+                                      std::size_t max_batch) {
+  BatchResult out;
+  switch (prep_.mode) {
+    case UniGenPrepared::Mode::kUnsat:
+      out.status = SampleResult::Status::kUnsat;
+      return out;
+    case UniGenPrepared::Mode::kTrivial: {
+      Rng rng = base_rng_.fork_stream(stream);
+      out.models = unigen_trivial_batch(prep_, max_batch, rng);
+      out.status = SampleResult::Status::kOk;
+      return out;
+    }
+    default:
+      out.status = SampleResult::Status::kTimeout;
+      return out;
+  }
+}
+
+void SamplerPool::account(SampleResult::Status status) {
+  ++requests_;
+  switch (status) {
+    case SampleResult::Status::kOk:
+      ++ok_;
+      break;
+    case SampleResult::Status::kFail:
+      ++failed_;
+      break;
+    case SampleResult::Status::kTimeout:
+      ++timed_out_;
+      break;
+    case SampleResult::Status::kUnsat:
+      break;
+  }
+}
+
+std::vector<SampleResult> SamplerPool::sample_many(std::size_t count) {
+  if (count == 0) return {};
+  prepare();
+  const Stopwatch watch;
+  const std::uint64_t first_stream = next_stream_;
+  next_stream_ += count;  // streams are consumed whatever the mode
+  std::vector<SampleResult> results(count);
+  if (prep_.mode == UniGenPrepared::Mode::kHashed) {
+    Job job;
+    job.kind = Job::Kind::kSingles;
+    job.count = count;
+    job.first_stream = first_stream;
+    job.singles = &results;
+    run_job(job);
+  } else {
+    for (std::size_t k = 0; k < count; ++k)
+      results[k] = inline_single(first_stream + k);
+  }
+  for (const SampleResult& r : results) account(r.status);
+  service_seconds_ += watch.seconds();
+  return results;
+}
+
+std::vector<BatchResult> SamplerPool::sample_batches(std::size_t requests,
+                                                     std::size_t max_batch) {
+  if (requests == 0 || max_batch == 0) return {};
+  prepare();
+  const Stopwatch watch;
+  const std::uint64_t first_stream = next_stream_;
+  next_stream_ += requests;
+  std::vector<BatchResult> results(requests);
+  if (prep_.mode == UniGenPrepared::Mode::kHashed) {
+    Job job;
+    job.kind = Job::Kind::kBatches;
+    job.count = requests;
+    job.max_batch = max_batch;
+    job.first_stream = first_stream;
+    job.batches = &results;
+    run_job(job);
+  } else {
+    for (std::size_t k = 0; k < requests; ++k)
+      results[k] = inline_batch(first_stream + k, max_batch);
+  }
+  for (const BatchResult& r : results) account(r.status);
+  service_seconds_ += watch.seconds();
+  return results;
+}
+
+SamplerPoolStats SamplerPool::stats() const {
+  SamplerPoolStats out;
+  out.prepare = prepare_stats_;
+  out.requests = requests_;
+  out.samples_ok = ok_;
+  out.samples_failed = failed_;
+  out.samples_timed_out = timed_out_;
+  out.service_seconds = service_seconds_;
+  out.workers.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    SamplerPoolWorkerStats ws;
+    ws.requests_served = w.served;
+    if (w.engine) {
+      const SolverStats es = w.engine->stats();
+      ws.solver_rebuilds = es.solver_rebuilds;
+      ws.reused_solves = es.reused_solves;
+    }
+    ws.sample_bsat_calls = w.stats.sample_bsat_calls;
+    ws.bsat_timeout_retries = w.stats.bsat_timeout_retries;
+    ws.total_xor_rows = w.stats.total_xor_rows;
+    ws.total_xor_row_length = w.stats.total_xor_row_length;
+    out.workers.push_back(ws);
+  }
+  return out;
+}
+
+}  // namespace unigen

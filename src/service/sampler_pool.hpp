@@ -1,0 +1,188 @@
+#pragma once
+// SamplerPool — parallel witness-generation service.
+//
+// The paper's headline scalability argument: once lines 1–11 of Algorithm 1
+// have run (thresholds, the easy-case check, one ApproxMC call fixing q),
+// every sample is an i.i.d. run of lines 12–22 — sampling is embarrassingly
+// parallel.  This service exploits exactly that split:
+//
+//   * prepare() runs once, on the caller's thread, producing an immutable
+//     UniGenPrepared that every worker shares by const reference.
+//   * N worker threads each own a private IncrementalBsat engine over the
+//     one shared Cnf (the engine keeps a reference — no formula copies) —
+//     one solver build per worker for the whole pool lifetime, observable
+//     via SamplerPoolStats::workers[i].solver_rebuilds == 1.
+//   * Work items are pulled from an atomic cursor, so load balances itself;
+//     results land in a preallocated slot per request — no result-order
+//     nondeterminism.
+//
+// Determinism contract: request k draws all of its randomness from
+// Rng(seed).fork_stream(k) — a keyed fork that does not depend on which
+// worker serves the request or how many threads exist — and accepted cells
+// are handed back in canonical (lexicographic) order by unigen_accept_cell,
+// so the witness picked out of a cell cannot depend on the serving engine's
+// learnt-clause history.  Hence for a fixed seed and request sequence the
+// returned sample sets are byte-identical across thread counts (asserted by
+// tests/test_sampler_pool.cpp and bench_parallel_scaling).  Stream indices
+// keep advancing across calls, so consecutive calls continue one global
+// deterministic sequence.  One caveat: the contract assumes no per-BSAT
+// timeout fires — a timeout retry (paper Section 5) draws a fresh hash from
+// the request's stream, and whether a solve beats its wall-clock budget is
+// machine- and contention-dependent.  Keep bsat_timeout_s comfortably above
+// the workload's per-cell solve time (orders of magnitude, as the defaults
+// are) when byte-identical replicas matter.
+//
+// Threading contract: one dispatcher thread drives the pool (prepare /
+// sample_many / sample_batches / stats are not reentrant); the fan-out
+// inside each call is the pool's own.  Calls are synchronous — when they
+// return, every worker has quiesced, which is also what makes stats()
+// race-free.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "core/sampler.hpp"
+#include "core/unigen.hpp"
+#include "sat/incremental_bsat.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+struct SamplerPoolOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  std::size_t num_threads = 0;
+  /// Master seed: the whole service output is a deterministic function of
+  /// (formula, options, seed, request sequence) — thread count excluded.
+  std::uint64_t seed = 0xDAC14;
+  /// ε and the time budgets, shared by prepare and every worker.
+  UniGenOptions unigen;
+};
+
+/// Outcome of one batched request (one accepted cell), with timeout kept
+/// distinct from ⊥ — the vector<Model>-only shape of UniGen::sample_batch
+/// cannot tell the two apart.
+struct BatchResult {
+  SampleResult::Status status = SampleResult::Status::kFail;
+  std::vector<Model> models;
+
+  bool ok() const { return status == SampleResult::Status::kOk; }
+};
+
+struct SamplerPoolWorkerStats {
+  std::uint64_t requests_served = 0;
+  /// Solver constructions on this worker's engine: stays at 1 for the pool
+  /// lifetime (0 for a worker that never received a request — engines are
+  /// built on first use).
+  std::uint64_t solver_rebuilds = 0;
+  std::uint64_t reused_solves = 0;
+  std::uint64_t sample_bsat_calls = 0;
+  std::uint64_t bsat_timeout_retries = 0;
+  std::uint64_t total_xor_rows = 0;
+  double total_xor_row_length = 0.0;
+};
+
+struct SamplerPoolStats {
+  /// The one-time phase: kappa/pivot/thresholds/q, prepare_seconds,
+  /// prepare_bsat_calls, counter_solver_rebuilds, trivial.
+  UniGenStats prepare;
+  // Outcome totals across all service calls.
+  std::uint64_t requests = 0;
+  std::uint64_t samples_ok = 0;
+  std::uint64_t samples_failed = 0;
+  std::uint64_t samples_timed_out = 0;
+  /// Wall-clock spent inside sample_many/sample_batches (dispatcher view).
+  double service_seconds = 0.0;
+  std::vector<SamplerPoolWorkerStats> workers;
+
+  double success_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(samples_ok) /
+                               static_cast<double>(requests);
+  }
+};
+
+class SamplerPool {
+ public:
+  /// `cnf` is copied once into the pool and never mutated afterwards; all
+  /// worker engines reference this single copy.
+  explicit SamplerPool(Cnf cnf, SamplerPoolOptions options = {});
+  ~SamplerPool();
+  SamplerPool(const SamplerPool&) = delete;
+  SamplerPool& operator=(const SamplerPool&) = delete;
+
+  /// Runs Algorithm 1 lines 1–11 once and (in hashed mode) starts the
+  /// worker threads.  Idempotent.  Returns false when the one-time phase
+  /// exceeded its budget; requests then report kTimeout.
+  bool prepare();
+
+  /// Draws `count` independent witnesses — request k is one full run of
+  /// lines 12–22 on stream k.  Trivial/UNSAT instances are served inline
+  /// (an array lookup needs no fan-out); hashed instances fan out across
+  /// the workers.
+  std::vector<SampleResult> sample_many(std::size_t count);
+
+  /// UniGen2-style batches: each request accepts one hash cell and returns
+  /// up to `max_batch` distinct witnesses from it.
+  std::vector<BatchResult> sample_batches(std::size_t requests,
+                                          std::size_t max_batch);
+
+  std::size_t num_threads() const { return workers_.size(); }
+  /// Valid after prepare().
+  const UniGenPrepared& prepared() const { return prep_; }
+  /// Snapshot; call between service calls (see the threading contract).
+  SamplerPoolStats stats() const;
+
+ private:
+  struct Job;
+  struct Worker {
+    /// Built lazily on the worker's first request (worker 0 adopts the
+    /// engine prepare() warmed up), then reused for the pool lifetime.
+    std::unique_ptr<IncrementalBsat> engine;
+    /// Accept-cell aggregates + engine counters, private to the worker.
+    UniGenStats stats;
+    std::uint64_t served = 0;
+  };
+
+  void worker_main(std::size_t worker_index);
+  void serve(Worker& worker, Job& job, std::size_t k);
+  void run_job(Job& job);
+  /// Serves trivial/unsat/timed-out modes on the dispatcher thread.
+  SampleResult inline_single(std::uint64_t stream);
+  BatchResult inline_batch(std::uint64_t stream, std::size_t max_batch);
+  void account(SampleResult::Status status);
+
+  Cnf cnf_;
+  std::vector<Var> sampling_set_;
+  SamplerPoolOptions options_;
+  /// Only fork_stream() (const) is ever used: stream 0 = prepare, streams
+  /// 1.. = requests in submission order.
+  Rng base_rng_;
+  UniGenPrepared prep_;
+  UniGenStats prepare_stats_;
+  bool prepared_ = false;
+  std::uint64_t next_stream_ = 1;
+
+  // Outcome totals (dispatcher thread only).
+  std::uint64_t requests_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t timed_out_ = 0;
+  double service_seconds_ = 0.0;
+
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;           // guarded by mu_
+  std::uint64_t job_seq_ = 0;    // guarded by mu_; bumped per submission
+  bool stop_ = false;            // guarded by mu_
+};
+
+}  // namespace unigen

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <cassert>
 #include <random>
 
 namespace unigen {
@@ -45,6 +46,9 @@ std::uint64_t Rng::operator()() {
 }
 
 std::uint64_t Rng::below(std::uint64_t bound) {
+  // With bound == 0 the mod below would fault (and "uniform over an empty
+  // range" has no right answer anyway) — make callers say what they mean.
+  assert(bound > 0 && "Rng::below requires bound > 0");
   // Lemire's multiply-then-reject method: unbiased and branch-light.
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -61,7 +65,12 @@ std::uint64_t Rng::below(std::uint64_t bound) {
 }
 
 std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
-  return lo + below(hi - lo + 1);
+  assert(lo <= hi && "Rng::between requires lo <= hi");
+  const std::uint64_t span = hi - lo + 1;
+  // span wraps to 0 exactly when [lo, hi] covers all of uint64 — every raw
+  // draw is in range, and feeding 0 to below() would be UB (mod by zero).
+  if (span == 0) return (*this)();
+  return lo + below(span);
 }
 
 bool Rng::flip() { return ((*this)() >> 63) != 0; }
@@ -74,5 +83,41 @@ double Rng::uniform01() {
 }
 
 Rng Rng::fork() { return Rng((*this)()); }
+
+Rng Rng::fork_stream(std::uint64_t stream) const {
+  // Key the child off the full parent state plus the stream index, then let
+  // the seeding splitmix64 expansion decorrelate adjacent indices.  The
+  // parent is untouched, so stream k always denotes the same child — the
+  // property the parallel sampling service's determinism contract needs
+  // (request k draws from stream k no matter which thread serves it).
+  std::uint64_t x = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                    rotl(s_[3], 43);
+  x ^= 0x9e3779b97f4a7c15ULL * (stream + 1);
+  return Rng(x);
+}
+
+void Rng::jump() {
+  // Standard xoshiro256** jump polynomial: advances the state by 2^128
+  // steps, partitioning one stream into non-overlapping blocks.
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if ((word >> b) & 1u) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
 
 }  // namespace unigen

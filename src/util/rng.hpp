@@ -33,10 +33,12 @@ class Rng {
   std::uint64_t operator()();
 
   /// Uniform integer in [0, bound) using Lemire's unbiased method.
-  /// Precondition: bound > 0.
+  /// Precondition: bound > 0 (asserted; an empty range has no uniform draw).
   std::uint64_t below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi
+  /// (asserted).  The full range between(0, UINT64_MAX) is handled
+  /// explicitly — its span wraps to 0 and must not reach below().
   std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
 
   /// Fair coin.
@@ -58,8 +60,23 @@ class Rng {
     }
   }
 
-  /// Forks an independent child generator (for per-thread / per-run streams).
+  /// Forks an independent child generator (for per-thread / per-run
+  /// streams).  Consumes one draw from the parent, so successive forks
+  /// yield different children.
   Rng fork();
+
+  /// Keyed fork: the child for stream index `k` is a pure function of the
+  /// current parent state and `k`, and the parent is not advanced.  This is
+  /// the reproducibility primitive of the parallel sampling service: work
+  /// item k gets fork_stream(k), so its draws are identical no matter how
+  /// many threads execute the fan-out or which thread picks the item up.
+  Rng fork_stream(std::uint64_t stream) const;
+
+  /// Advances this generator by 2^128 steps (the xoshiro256** jump
+  /// polynomial): calling jump() t times partitions the stream into
+  /// non-overlapping length-2^128 blocks, an alternative to fork_stream for
+  /// long-lived per-thread generators.
+  void jump();
 
  private:
   std::uint64_t s_[4];

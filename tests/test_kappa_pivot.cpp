@@ -51,11 +51,32 @@ TEST(KappaPivot, ThresholdsBracketPivot) {
     const auto kp = compute_kappa_pivot(eps);
     EXPECT_LT(kp.lo_thresh, static_cast<double>(kp.pivot));
     EXPECT_GT(kp.hi_thresh, kp.pivot);
-    EXPECT_NEAR(kp.lo_thresh,
-                static_cast<double>(kp.pivot) / (1.0 + kp.kappa), 1e-9);
+  }
+}
+
+TEST(KappaPivot, ThresholdsMatchAlgorithm2Formulas) {
+  // hiThresh = ⌈1 + √2(1+κ)·pivot⌉ and loThresh = pivot/(√2(1+κ)): the √2
+  // factors widen the acceptance band and are what Theorem 1's analysis
+  // counts as a "good" cell — a regression dropping them rejects cells the
+  // guarantee relies on.
+  const double sqrt2 = std::sqrt(2.0);
+  for (const double eps : {1.8, 2.5, 4.0, 6.0, 12.0, 20.0}) {
+    const auto kp = compute_kappa_pivot(eps);
     EXPECT_EQ(kp.hi_thresh,
-              static_cast<std::uint64_t>(std::floor(
-                  1.0 + (1.0 + kp.kappa) * static_cast<double>(kp.pivot))));
+              static_cast<std::uint64_t>(std::ceil(
+                  1.0 + sqrt2 * (1.0 + kp.kappa) *
+                            static_cast<double>(kp.pivot))))
+        << "eps=" << eps;
+    EXPECT_NEAR(kp.lo_thresh,
+                static_cast<double>(kp.pivot) / (sqrt2 * (1.0 + kp.kappa)),
+                1e-9)
+        << "eps=" << eps;
+    // The band is strictly wider than the √2-less one on both sides.
+    EXPECT_GT(kp.hi_thresh, static_cast<std::uint64_t>(std::floor(
+                                1.0 + (1.0 + kp.kappa) *
+                                          static_cast<double>(kp.pivot))));
+    EXPECT_LT(kp.lo_thresh,
+              static_cast<double>(kp.pivot) / (1.0 + kp.kappa));
   }
 }
 
@@ -71,10 +92,10 @@ TEST(KappaPivot, SmallerEpsilonMeansBiggerCells) {
 TEST(KappaPivot, PaperEpsilon6Regression) {
   // The configuration used throughout the paper's experiments.
   const auto kp = compute_kappa_pivot(6.0);
-  EXPECT_NEAR(kp.kappa, 0.547, 0.01);
+  EXPECT_NEAR(kp.kappa, 0.544, 0.01);
   EXPECT_EQ(kp.pivot, 40u);
-  EXPECT_EQ(kp.hi_thresh, 62u);
-  EXPECT_NEAR(kp.lo_thresh, 25.8, 0.3);
+  EXPECT_EQ(kp.hi_thresh, 89u);
+  EXPECT_NEAR(kp.lo_thresh, 18.32, 0.3);
 }
 
 }  // namespace

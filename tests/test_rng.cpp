@@ -115,6 +115,23 @@ TEST(Rng, ShuffleActuallyPermutes) {
   EXPECT_NE(v, w);  // probability 1/20! of spurious failure
 }
 
+TEST(Rng, BetweenFullRangeDoesNotOverflow) {
+  // hi - lo + 1 wraps to 0 here; the old code fed that to below() (mod 0).
+  Rng r(33);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i)
+    seen.insert(r.between(0, ~std::uint64_t{0}));
+  EXPECT_GT(seen.size(), 195u);  // effectively raw 64-bit draws
+}
+
+TEST(Rng, BetweenDegenerateRangeIsConstant) {
+  Rng r(35);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.between(7, 7), 7u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(r.between(~std::uint64_t{0}, ~std::uint64_t{0}),
+              ~std::uint64_t{0});
+}
+
 TEST(Rng, ForkProducesIndependentStream) {
   Rng a(31);
   Rng child = a.fork();
@@ -122,6 +139,40 @@ TEST(Rng, ForkProducesIndependentStream) {
   for (int i = 0; i < 100; ++i)
     if (a() == child()) ++equal;
   EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkStreamIsKeyedAndParentInvariant) {
+  Rng a(37), b(37);
+  // Same parent state + same stream index -> identical child, and forking
+  // does not advance the parent.
+  Rng c1 = a.fork_stream(5);
+  Rng c2 = b.fork_stream(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkStreamChildrenAreDecorrelated) {
+  Rng parent(41);
+  Rng x = parent.fork_stream(0);
+  Rng y = parent.fork_stream(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (x() == y()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, JumpDivergesFromUnjumpedStream) {
+  Rng a(43), b(43);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+  // Deterministic: jumping two equal generators keeps them equal.
+  Rng c(43), d(43);
+  c.jump();
+  d.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c(), d());
 }
 
 }  // namespace

@@ -25,8 +25,8 @@ std::vector<int> witness_key(const Model& m, const std::vector<Var>& vars) {
   return key;
 }
 
-/// A CNF with a solution count comfortably above hiThresh(ε=6) = 62 so the
-/// hashed path is exercised: 10 vars, a few clauses, ~several hundred models.
+/// A CNF with a solution count comfortably above hiThresh(ε=6) = 89 so the
+/// hashed path is exercised: 10 vars, a few clauses, 504 models.
 Cnf hashed_mode_formula() {
   Cnf cnf(10);
   cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
@@ -95,7 +95,7 @@ TEST(UniGen, TrivialModeIsExactlyUniform) {
 TEST(UniGen, HashedModeProducesValidWitnesses) {
   const Cnf cnf = hashed_mode_formula();
   const auto truth = brute_force_models(cnf);
-  ASSERT_GT(truth.size(), 62u) << "fixture must exceed hiThresh";
+  ASSERT_GT(truth.size(), 89u) << "fixture must exceed hiThresh";
   Rng rng(7);
   UniGen sampler(cnf, {}, rng);
   ASSERT_TRUE(sampler.prepare());
@@ -243,7 +243,7 @@ TEST(UniGen, StatsRecordThresholds) {
   UniGen sampler(cnf, opts, rng);
   ASSERT_TRUE(sampler.prepare());
   EXPECT_EQ(sampler.stats().pivot, 40u);
-  EXPECT_EQ(sampler.stats().hi_thresh, 62u);
+  EXPECT_EQ(sampler.stats().hi_thresh, 89u);
   EXPECT_GT(sampler.stats().approx_log2_count, 6.0);  // |R_F| > 64
 }
 

@@ -90,6 +90,58 @@ TEST(UniGenBatch, UnsatYieldsEmpty) {
   EXPECT_TRUE(sampler.sample_batch(5).empty());
 }
 
+TEST(UniGenBatch, StatsAccountedLikeSample) {
+  // Every batch request is one lines-12–22 run and must be visible in the
+  // stats: requested/ok/failed/timed_out, exactly as sample() accounts.
+  const Cnf cnf = hashed_mode_formula();
+  Rng rng(13);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  EXPECT_EQ(sampler.stats().samples_requested, 0u);
+  constexpr int kCalls = 25;
+  std::uint64_t nonempty = 0;
+  for (int i = 0; i < kCalls; ++i)
+    nonempty += sampler.sample_batch(4).empty() ? 0 : 1;
+  const auto& st = sampler.stats();
+  EXPECT_EQ(st.samples_requested, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(st.samples_ok, nonempty);
+  EXPECT_EQ(st.samples_ok + st.samples_failed + st.samples_timed_out,
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(st.samples_timed_out, 0u);
+  EXPECT_GT(st.sample_bsat_calls, 0u);
+}
+
+TEST(UniGenBatch, TrivialModeBatchCountsAsSuccess) {
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  Rng rng(17);
+  UniGen sampler(cnf, {}, rng);
+  ASSERT_TRUE(sampler.prepare());
+  EXPECT_FALSE(sampler.sample_batch(3).empty());
+  EXPECT_EQ(sampler.stats().samples_requested, 1u);
+  EXPECT_EQ(sampler.stats().samples_ok, 1u);
+  // A zero-size request is a no-op, not a failed request.
+  EXPECT_TRUE(sampler.sample_batch(0).empty());
+  EXPECT_EQ(sampler.stats().samples_requested, 1u);
+}
+
+TEST(UniGenBatch, TimeoutDistinguishedFromEmptyCell) {
+  // An expired sample budget must surface as samples_timed_out, not be
+  // silently conflated with the ⊥ (empty-cell) outcome.
+  const Cnf cnf = hashed_mode_formula();
+  Rng rng(19);
+  UniGenOptions opts;
+  opts.sample_timeout_s = 0.0;  // the accept-cell deadline expires at once
+  UniGen sampler(cnf, opts, rng);
+  ASSERT_TRUE(sampler.prepare());
+  EXPECT_TRUE(sampler.sample_batch(4).empty());
+  const auto& st = sampler.stats();
+  EXPECT_EQ(st.samples_requested, 1u);
+  EXPECT_EQ(st.samples_timed_out, 1u);
+  EXPECT_EQ(st.samples_failed, 0u);
+  EXPECT_EQ(st.samples_ok, 0u);
+}
+
 TEST(UniGenBatch, BatchCoverageAccumulates) {
   // Batches from many cells eventually cover most of the witness space.
   const Cnf cnf = hashed_mode_formula();
