@@ -1,5 +1,6 @@
 #include "cnf/dimacs.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,49 @@ namespace {
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
   throw std::runtime_error("dimacs parse error at line " +
                            std::to_string(line_no) + ": " + what);
+}
+
+/// Drops trailing whitespace (including the '\r' of CRLF files).
+void strip_trailing_whitespace(std::string& s) {
+  while (!s.empty() &&
+         (s.back() == '\r' || s.back() == ' ' || s.back() == '\t'))
+    s.pop_back();
+}
+
+/// Strict integer parse of one whitespace-delimited token: the whole token
+/// must be a number, so "1a" or "foo" report the offending line instead of
+/// being silently mis-consumed.
+long long parse_int_token(const std::string& tok, std::size_t line_no) {
+  std::size_t consumed = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(tok, &consumed);
+  } catch (const std::exception&) {
+    fail(line_no, "expected integer, got '" + tok + "'");
+  }
+  if (consumed != tok.size())
+    fail(line_no, "expected integer, got '" + tok + "'");
+  return v;
+}
+
+/// True for a comment token: "c" or "c<non-digit>..." ("c1" is more likely
+/// a typo'd literal than a comment, so it is left to fail as a clause).
+bool is_comment_token(const std::string& tok) {
+  return tok[0] == 'c' &&
+         (tok.size() == 1 ||
+          !std::isdigit(static_cast<unsigned char>(tok[1])));
+}
+
+/// Payload of a `c ind v1 v2 ... 0` line, `ls` positioned after "ind".
+void parse_ind_payload(std::istringstream& ls, std::size_t line_no,
+                       std::vector<Var>& sampling) {
+  std::string num;
+  while (ls >> num) {
+    const long long v = parse_int_token(num, line_no);
+    if (v == 0) break;  // an unterminated ind line is tolerated too
+    if (v < 0) fail(line_no, "negative variable in c ind");
+    sampling.push_back(static_cast<Var>(v - 1));
+  }
 }
 
 }  // namespace
@@ -27,19 +71,17 @@ Cnf parse_dimacs(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    strip_trailing_whitespace(line);
     std::istringstream ls(line);
     std::string tok;
-    if (!(ls >> tok)) continue;  // blank line
+    if (!(ls >> tok)) continue;  // blank (or whitespace-only) line
 
-    if (tok == "c") {
+    if (is_comment_token(tok)) {
+      if (tok != "c") continue;  // "cfoo"-style comment, no ind payload
       std::string kind;
       if (ls >> kind && kind == "ind") {
         saw_ind = true;
-        long long v = 0;
-        while (ls >> v && v != 0) {
-          if (v < 0) fail(line_no, "negative variable in c ind");
-          sampling.push_back(static_cast<Var>(v - 1));
-        }
+        parse_ind_payload(ls, line_no, sampling);
       }
       continue;
     }
@@ -48,6 +90,7 @@ Cnf parse_dimacs(std::istream& in) {
       long long nv = 0, nc = 0;
       if (!(ls >> fmt >> nv >> nc) || (fmt != "cnf" && fmt != "pcnf"))
         fail(line_no, "malformed problem line");
+      if (nv < 0 || nc < 0) fail(line_no, "negative count in problem line");
       saw_header = true;
       declared_vars = static_cast<Var>(nv);
       declared_clauses = static_cast<std::size_t>(nc);
@@ -55,53 +98,83 @@ Cnf parse_dimacs(std::istream& in) {
       continue;
     }
 
-    // Clause or xor-clause line.  Lines may wrap; read ints until 0.
-    bool is_xor = false;
-    std::string first = tok;
-    if (!first.empty() && first[0] == 'x') {
-      is_xor = true;
-      first = first.substr(1);
-      if (first.empty()) {
-        if (!(ls >> first)) fail(line_no, "empty xor line");
+    // Clause or xor-clause tokens.  Clauses may wrap across physical lines
+    // (reading integers until the terminating 0, with blank lines and `c`
+    // comments tolerated in between) and several clauses may share one
+    // physical line — tokens after a terminating 0 start the next clause
+    // rather than being silently dropped.
+    for (;;) {
+      bool is_xor = false;
+      std::string first = tok;
+      if (!first.empty() && first[0] == 'x') {
+        is_xor = true;
+        first = first.substr(1);
+        if (first.empty()) {
+          if (!(ls >> first)) fail(line_no, "empty xor line");
+        }
       }
-    }
-    std::vector<long long> nums;
-    try {
-      nums.push_back(std::stoll(first));
-    } catch (const std::exception&) {
-      fail(line_no, "expected integer, got '" + tok + "'");
-    }
-    long long v = 0;
-    while (nums.back() != 0) {
-      if (!(ls >> v)) {
-        // clause continues on the next physical line
-        if (!std::getline(in, line)) fail(line_no, "unterminated clause");
-        ++line_no;
-        ls.clear();
-        ls.str(line);
-        continue;
+      std::vector<long long> nums;
+      nums.push_back(parse_int_token(first, line_no));
+      while (nums.back() != 0) {
+        std::string num;
+        if (!(ls >> num)) {
+          // Clause continues on the next physical line; skip blank lines
+          // and comments in between — `c ind` directives landing mid-clause
+          // are still honored, not silently swallowed as comments.
+          for (;;) {
+            if (!std::getline(in, line)) fail(line_no, "unterminated clause");
+            ++line_no;
+            strip_trailing_whitespace(line);
+            std::istringstream probe(line);
+            std::string head;
+            if (!(probe >> head)) continue;  // blank
+            if (is_comment_token(head)) {
+              std::string kind;
+              if (head == "c" && probe >> kind && kind == "ind") {
+                saw_ind = true;
+                parse_ind_payload(probe, line_no, sampling);
+              }
+              continue;
+            }
+            break;
+          }
+          ls.clear();
+          ls.str(line);
+          continue;
+        }
+        nums.push_back(parse_int_token(num, line_no));
       }
-      nums.push_back(v);
-    }
-    nums.pop_back();  // drop terminating 0
+      nums.pop_back();  // drop terminating 0
 
-    if (is_xor) {
-      // CryptoMiniSAT convention: negated literal flips the rhs.
-      XorConstraint x;
-      x.rhs = true;
-      for (const long long n : nums) {
-        if (n == 0) continue;
-        if (n < 0) x.rhs = !x.rhs;
-        x.vars.push_back(static_cast<Var>(std::llabs(n) - 1));
+      if (is_xor) {
+        // CryptoMiniSAT convention: negated literal flips the rhs.
+        XorConstraint x;
+        x.rhs = true;
+        for (const long long n : nums) {
+          if (n == 0) continue;
+          if (n < 0) x.rhs = !x.rhs;
+          x.vars.push_back(static_cast<Var>(std::llabs(n) - 1));
+        }
+        cnf.add_xor(std::move(x));
+      } else {
+        std::vector<Lit> lits;
+        lits.reserve(nums.size());
+        for (const long long n : nums)
+          lits.push_back(Lit::from_dimacs(static_cast<std::int32_t>(n)));
+        cnf.add_clause(std::move(lits));
+        ++parsed_clauses;
       }
-      cnf.add_xor(std::move(x));
-    } else {
-      std::vector<Lit> lits;
-      lits.reserve(nums.size());
-      for (const long long n : nums)
-        lits.push_back(Lit::from_dimacs(static_cast<std::int32_t>(n)));
-      cnf.add_clause(std::move(lits));
-      ++parsed_clauses;
+      if (!(ls >> tok)) break;  // no further clause starts on this line
+      if (is_comment_token(tok)) {
+        // Trailing same-line comment after the terminating 0 (an `ind`
+        // directive there is honored like everywhere else).
+        std::string kind;
+        if (tok == "c" && ls >> kind && kind == "ind") {
+          saw_ind = true;
+          parse_ind_payload(ls, line_no, sampling);
+        }
+        break;
+      }
     }
   }
 

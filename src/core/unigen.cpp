@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "hashing/xor_hash.hpp"
 #include "util/timer.hpp"
@@ -27,6 +28,7 @@ void sync_engine_stats(const IncrementalBsat& engine, UniGenStats& stats) {
   stats.solver_rebuilds = st.solver_rebuilds;
   stats.reused_solves = st.reused_solves;
   stats.retracted_blocks = st.retracted_blocks;
+  stats.solver_propagations = st.propagations + st.xor_propagations;
 }
 
 }  // namespace
@@ -45,12 +47,35 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   stats.hi_thresh = prep.kp.hi_thresh;
   stats.lo_thresh = prep.kp.lo_thresh;
 
+  // Count-safe simplification, once per formula: every cell enumerated
+  // below — prepare's easy-case check, the ApproxMC call, and all
+  // accept_cell engines (single-instance and pool workers) — runs on the
+  // shrunk formula.  |R_S| is invariant, so thresholds, q and acceptance
+  // statistics are untouched; witnesses are reconstructed back onto the
+  // original formula before anything leaves this layer.
+  // Precondition (header contract): `sampling_set` is the formula's
+  // effective sampling set.  Everything downstream assumes the two agree —
+  // the Simplifier freezes it, and the nested approx_count projects over
+  // the formula's own declared set.  Checked in all build types: the
+  // silent failure mode (wrong q/thresholds) is far worse than the one
+  // O(|S|) comparison per prepare.
+  if (sampling_set != cnf.sampling_set_or_all())
+    throw std::invalid_argument(
+        "unigen_prepare: sampling_set must equal the formula's "
+        "sampling_set_or_all()");
+  if (options.simplify.enabled) {
+    prep.simplifier = std::make_shared<const Simplifier>(cnf, options.simplify,
+                                                         sampling_set);
+    stats.simplify = prep.simplifier->stats();
+  }
+  const Cnf& formula = prep.formula(cnf);
+
   // Lines 4–7: the easy case — enumerate up to hiThresh+1 witnesses; when
   // at most hiThresh exist, uniform sampling is exact.  This builds the
   // persistent engine a later accept_cell can reuse; the blocking clauses
   // of the check are retracted, so the hashed queries start from the
   // unblocked formula plus whatever the solver learnt here.
-  auto engine = std::make_unique<IncrementalBsat>(cnf, sampling_set);
+  auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
   {
     EnumerateResult r =
         engine->enumerate_cell(0, prep.kp.hi_thresh + 1, deadline, true);
@@ -69,6 +94,9 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
     if (r.count <= prep.kp.hi_thresh) {
       prep.trivial_models =
           project_models_to_formula(std::move(r.models), cnf.num_vars());
+      if (prep.simplifier)
+        prep.trivial_models =
+            prep.simplifier->extend_models(std::move(prep.trivial_models));
       // Canonical order: trivial_models[j] must denote the same witness no
       // matter which solver history produced the enumeration.
       std::sort(prep.trivial_models.begin(), prep.trivial_models.end(),
@@ -87,7 +115,8 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   amc.delta = 1.0 - options.counter_confidence;
   amc.deadline = deadline;
   amc.bsat_timeout_s = options.bsat_timeout_s;
-  const ApproxMcResult count = approx_count(cnf, amc, rng);
+  amc.simplify.enabled = false;  // `formula` is already simplified
+  const ApproxMcResult count = approx_count(formula, amc, rng);
   stats.prepare_bsat_calls += count.bsat_calls;
   stats.counter_solver_rebuilds = count.solver_rebuilds;
   if (!count.valid) {
@@ -157,6 +186,10 @@ std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
           r.count <= prep.kp.hi_thresh) {
         std::vector<Model> cell =
             project_models_to_formula(std::move(r.models), formula_vars);
+        // Witnesses of the simplified formula become witnesses of the
+        // original: BVE'd variables get their reconstructed values.
+        if (prep.simplifier)
+          cell = prep.simplifier->extend_models(std::move(cell));
         // Canonical order (see the header contract): the index a caller's
         // RNG then draws selects the same witness on every replica.
         std::sort(cell.begin(), cell.end(), model_lex_less);

@@ -30,6 +30,7 @@
 #include "core/sampler.hpp"
 #include "counting/approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
+#include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 
 namespace unigen {
@@ -37,6 +38,11 @@ namespace unigen {
 struct UniGenOptions {
   /// Tolerance ε (> 1.71).  The paper's experiments use 6.
   double epsilon = 6.0;
+  /// Count-safe CNF simplification, run once in prepare(); every engine
+  /// (single-instance and pool workers) then solves the shrunk formula.
+  /// Witnesses are reconstructed onto the original formula, so samples are
+  /// genuine models of the input (simplify/simplify.hpp).
+  SimplifyOptions simplify;
   /// Per-BSAT-invocation timeout in seconds (paper: 2500 s).
   double bsat_timeout_s = 2500.0;
   /// Budget for prepare() in seconds (paper: part of the 20 h total).
@@ -76,7 +82,11 @@ struct UniGenStats {
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t reused_solves = 0;
   std::uint64_t retracted_blocks = 0;
+  /// Total propagations (clause + XOR) on the sampling engine.
+  std::uint64_t solver_propagations = 0;
   std::uint64_t counter_solver_rebuilds = 0;
+  /// What the prepare-time simplification did (ran == false when off).
+  SimplifyStats simplify;
   /// Average XOR-row length over all hash rows drawn (≈ |S|/2).
   double total_xor_row_length = 0.0;
   std::uint64_t total_xor_rows = 0;
@@ -106,13 +116,29 @@ struct UniGenPrepared {
   int q = 0;  ///< ⌈log C + log 1.8 − log pivot⌉ (hashed mode only)
   double approx_log2_count = 0.0;
   std::vector<Model> trivial_models;  ///< easy case: the full witness list
+  /// The count-safe preprocessing run (null when simplification is off).
+  /// Owns the simplified formula every engine references — workers resolve
+  /// it through formula() — and the reconstruction that maps its models
+  /// back onto the original's (unigen_accept_cell applies it before the
+  /// canonical sort).  Shared because the pool's N workers and the
+  /// prepare-warmed engine all outlive different scopes.
+  std::shared_ptr<const Simplifier> simplifier;
+
+  /// The formula engines should solve: the simplified one when available,
+  /// otherwise the caller's original.
+  const Cnf& formula(const Cnf& original) const {
+    return simplifier ? simplifier->result() : original;
+  }
 
   bool usable() const { return mode != Mode::kTimedOut; }
 };
 
 /// Lines 1–11 run once per formula: ComputeKappaPivot, the easy-case
 /// enumeration, and (when the instance is hashed) one ApproxMC call fixing
-/// q.  Fills `prep` and the prepare-time fields of `stats`.  Returns the
+/// q.  `sampling_set` must equal cnf.sampling_set_or_all() (asserted): the
+/// simplifier's frozen set, the engines' projection and the nested
+/// ApproxMC's projection all have to be the same set.  Fills `prep` and
+/// the prepare-time fields of `stats`.  Returns the
 /// persistent engine the easy-case check warmed up when the instance ends
 /// up in hashed mode — the caller's first cell sampler can adopt it instead
 /// of building its own — and nullptr otherwise.

@@ -18,6 +18,16 @@ UniWit::UniWit(Cnf cnf, UniWitOptions options, Rng& rng)
 bool UniWit::prepare() {
   if (!prepared_) {
     kp_ = compute_kappa_pivot(options_.epsilon);
+    // The formula-level shrink is shared across samples (it is a pure
+    // function of the input, not per-witness amortization — UniWit still
+    // pays the easy-case check and the full m-scan on every sample).
+    // Freezing the full support limits the pipeline to model-set-
+    // preserving passes, which is what UniWit's full-support hashing and
+    // blocking require.
+    if (options_.simplify.enabled) {
+      simplifier_.emplace(cnf_, options_.simplify, full_support_);
+      stats_.simplify = simplifier_->stats();
+    }
     prepared_ = true;
   }
   return true;
@@ -51,7 +61,8 @@ SampleResult UniWit::sample() {
   // ACROSS witnesses (that is the baseline the paper argues against), but
   // within a single witness's m-scan the engine still avoids re-copying
   // the CNF and rebuilding a solver for every hash level.
-  IncrementalBsat engine(cnf_, full_support_);
+  const Cnf& formula = simplifier_ ? simplifier_->result() : cnf_;
+  IncrementalBsat engine(formula, full_support_);
   auto witness_of = [&](Model m) {
     return project_model_to_formula(std::move(m), cnf_.num_vars());
   };

@@ -18,9 +18,12 @@
 // Cell-size thresholds reuse ComputeKappaPivot so that both algorithms
 // target comparable cell sizes for a given ε.
 
+#include <optional>
+
 #include "cnf/cnf.hpp"
 #include "core/kappa_pivot.hpp"
 #include "core/sampler.hpp"
+#include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 
 namespace unigen {
@@ -31,6 +34,11 @@ struct UniWitOptions {
   double bsat_timeout_s = 2500.0;
   /// Budget for one sample() call (paper: 20 h per invocation).
   double sample_timeout_s = 72000.0;
+  /// Count-safe simplification of the input formula.  UniWit hashes and
+  /// blocks over the FULL support, so the frozen set is the full support:
+  /// only the model-set-preserving passes (UP, tautologies, subsumption)
+  /// ever fire — |R_F| and the per-witness distribution are untouched.
+  SimplifyOptions simplify;
 };
 
 struct UniWitStats {
@@ -40,6 +48,8 @@ struct UniWitStats {
   std::uint64_t samples_timed_out = 0;
   std::uint64_t bsat_calls = 0;
   double sample_seconds = 0.0;
+  /// What the prepare-time simplification did (ran == false when off).
+  SimplifyStats simplify;
   double total_xor_row_length = 0.0;
   std::uint64_t total_xor_rows = 0;
   double average_xor_length() const {
@@ -74,6 +84,9 @@ class UniWit final : public WitnessSampler {
   Rng& rng_;
   KappaPivot kp_;
   bool prepared_ = false;
+  /// Prepare-time preprocessing (frozen = full support, so purely
+  /// model-set-preserving); every per-sample engine loads its result.
+  std::optional<Simplifier> simplifier_;
   UniWitStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "hashing/xor_hash.hpp"
@@ -88,14 +89,25 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
   const std::vector<Var> sampling_set = cnf.sampling_set_or_all();
   const auto n = static_cast<std::uint32_t>(sampling_set.size());
 
+  // Count-safe preprocessing: ApproxMC only ever reports |R_S|, which every
+  // simplification pass preserves (simplify/simplify.hpp), and it never
+  // hands out witnesses, so no model reconstruction is needed here.
+  std::optional<Simplifier> simplifier;
+  if (options.simplify.enabled) {
+    simplifier.emplace(cnf, options.simplify);
+    result.simplify = simplifier->stats();
+  }
+  const Cnf& formula = simplifier ? simplifier->result() : cnf;
+
   // One persistent solver for the whole count; every BSAT call below runs
   // on it.  Engine counters are folded into the result before returning.
-  IncrementalBsat engine(cnf, sampling_set);
+  IncrementalBsat engine(formula, sampling_set);
   const auto finish = [&](ApproxMcResult r) {
     const SolverStats st = engine.stats();
     r.solver_rebuilds = st.solver_rebuilds;
     r.reused_solves = st.reused_solves;
     r.retracted_blocks = st.retracted_blocks;
+    r.solver_propagations = st.propagations + st.xor_propagations;
     return r;
   };
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "cnf/cnf.hpp"
+#include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -39,6 +40,10 @@ struct ApproxMcOptions {
   /// Optional per-BSAT-call timeout in seconds (0 = none); mirrors the
   /// paper's 2500 s per-call budget.
   double bsat_timeout_s = 0.0;
+  /// Count-safe CNF simplification in front of the run (on by default;
+  /// projected counts over S are invariant, see simplify/simplify.hpp).
+  /// Callers that already simplified the formula turn it off.
+  SimplifyOptions simplify;
 };
 
 struct ApproxMcResult {
@@ -71,6 +76,11 @@ struct ApproxMcResult {
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t reused_solves = 0;
   std::uint64_t retracted_blocks = 0;
+  /// Total propagations (clause + XOR) of the run's engine — the work
+  /// metric the simplification bench compares on.
+  std::uint64_t solver_propagations = 0;
+  /// What the preprocessing pipeline did (ran == false when disabled).
+  SimplifyStats simplify;
 };
 
 /// pivot(ε) = 2·⌈3·e^{1/2}·(1 + 1/ε)²⌉  (CP 2013).

@@ -96,18 +96,22 @@ bool Solver::reduce_priority_local_xors() {
   for (std::size_t i = 0; i < xors_.size(); ++i)
     if (!local[i]) kept.push_back(std::move(xors_[i]));
   std::vector<char> is_pivot(p, 0);
-  for (const auto& reduced : system.reduced_rows()) {
+  bool enqueue_failed = false;
+  // Streamed word-packed extraction: no intermediate row vector, set bits
+  // peeled per uint64_t block.
+  system.for_each_reduced_row([&](const Gf2System::Row& reduced) {
+    if (enqueue_failed) return;
     if (reduced.vars[0] < p)
       is_pivot[reduced.vars[0]] = 1;  // pivot column first, by contract
     if (reduced.vars.size() == 1) {
       // Forced constant — possibly an absorber whose row's base variables
       // are all fixed (then the constraint itself decides the absorber).
       if (!enqueue(Lit(col_var(reduced.vars[0]), !reduced.rhs), Reason{})) {
-        ok_ = false;
-        return false;
+        enqueue_failed = true;
+        return;
       }
       ++stats_.gauss_units;
-      continue;
+      return;
     }
     XorCls replacement;
     replacement.rhs = reduced.rhs;
@@ -115,6 +119,10 @@ bool Solver::reduce_priority_local_xors() {
     for (const auto col : reduced.vars)
       replacement.vars.push_back(col_var(col));
     kept.push_back(std::move(replacement));
+  });
+  if (enqueue_failed) {
+    ok_ = false;
+    return false;
   }
 
   // Swap in the new XOR set (rows may have picked up level-0 assignments
@@ -191,17 +199,20 @@ bool Solver::gauss_preprocess() {
     existing.emplace(std::move(key), x.rhs);
   }
   const bool saved_flag = gauss_done_;
-  for (const auto& reduced : system.reduced_rows()) {
+  bool add_failed = false;
+  system.for_each_reduced_row([&](const Gf2System::Row& reduced) {
+    if (add_failed) return;
     if (reduced.vars.size() < 2 ||
         reduced.vars.size() > options_.gauss_max_row_len)
-      continue;
+      return;
     std::vector<Var> vars;
     vars.reserve(reduced.vars.size());
     for (const auto col : reduced.vars) vars.push_back(columns[col]);
     std::sort(vars.begin(), vars.end());
-    if (existing.count({vars, reduced.rhs}) > 0) continue;
-    if (!add_xor(vars, reduced.rhs, /*ephemeral=*/true)) return false;
-  }
+    if (existing.count({vars, reduced.rhs}) > 0) return;
+    if (!add_xor(vars, reduced.rhs, /*ephemeral=*/true)) add_failed = true;
+  });
+  if (add_failed) return false;
   gauss_done_ = saved_flag;  // add_xor cleared it; the system is already reduced
   return ok_;
 }

@@ -88,8 +88,12 @@ void SamplerPool::worker_main(std::size_t worker_index) {
 }
 
 void SamplerPool::serve(Worker& worker, Job& job, std::size_t k) {
+  // Workers solve the formula prepare() simplified (prep_ owns it and
+  // outlives every engine); accept_cell reconstructs the witnesses, so the
+  // service output is over the original formula's variables either way.
   if (!worker.engine)
-    worker.engine = std::make_unique<IncrementalBsat>(cnf_, sampling_set_);
+    worker.engine =
+        std::make_unique<IncrementalBsat>(prep_.formula(cnf_), sampling_set_);
   // All randomness of request k comes from its keyed stream — identical no
   // matter which worker runs this.
   Rng rng = base_rng_.fork_stream(job.first_stream + k);

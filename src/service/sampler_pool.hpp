@@ -7,11 +7,16 @@
 // parallel.  This service exploits exactly that split:
 //
 //   * prepare() runs once, on the caller's thread, producing an immutable
-//     UniGenPrepared that every worker shares by const reference.
+//     UniGenPrepared that every worker shares by const reference — and,
+//     since PR 3, running the count-safe simplification pipeline whose
+//     shrunk formula (owned by UniGenPrepared::simplifier) is what all
+//     engines load; witnesses are reconstructed onto the original formula
+//     inside unigen_accept_cell.
 //   * N worker threads each own a private IncrementalBsat engine over the
-//     one shared Cnf (the engine keeps a reference — no formula copies) —
-//     one solver build per worker for the whole pool lifetime, observable
-//     via SamplerPoolStats::workers[i].solver_rebuilds == 1.
+//     one shared (simplified) Cnf (the engine keeps a reference — no
+//     formula copies) — one solver build per worker for the whole pool
+//     lifetime, observable via
+//     SamplerPoolStats::workers[i].solver_rebuilds == 1.
 //   * Work items are pulled from an atomic cursor, so load balances itself;
 //     results land in a preallocated slot per request — no result-order
 //     nondeterminism.

@@ -68,16 +68,7 @@ std::vector<std::pair<std::uint32_t, bool>> Gf2System::implied_units() const {
 std::vector<Gf2System::Row> Gf2System::reduced_rows() const {
   std::vector<Row> out;
   out.reserve(rows_.size());
-  for (const auto& stored : rows_) {
-    Row row;
-    row.rhs = stored.rhs;
-    row.vars.push_back(static_cast<std::uint32_t>(stored.pivot));
-    for (std::size_t v = 0; v < num_vars_; ++v) {
-      if (v != stored.pivot && stored.coeffs.get(v))
-        row.vars.push_back(static_cast<std::uint32_t>(v));
-    }
-    out.push_back(std::move(row));
-  }
+  for_each_reduced_row([&](const Row& row) { out.push_back(row); });
   return out;
 }
 

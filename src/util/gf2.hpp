@@ -3,6 +3,7 @@
 // elimination over parity constraints) and by tests of the hash family's
 // algebraic properties.
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,22 @@ class Gf2Vector {
   std::size_t first_set() const;
   std::size_t count() const;
   bool any() const;
+
+  /// Calls `fn(i)` for every set bit index i in ascending order, walking
+  /// whole uint64_t words and peeling bits with countr_zero — the sparse
+  /// row extraction the Gaussian layer runs per elimination, word-packed
+  /// instead of probing all num_vars bits one by one.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        fn((w << 6) + bit);
+        word &= word - 1;  // clear the lowest set bit
+      }
+    }
+  }
 
   bool operator==(const Gf2Vector& other) const = default;
 
@@ -73,6 +90,25 @@ class Gf2System {
     bool rhs;
   };
   std::vector<Row> reduced_rows() const;
+
+  /// Streams the reduced rows into `fn(const Row&)` without materializing
+  /// the whole vector; one scratch Row is reused across calls.  The sparse
+  /// variable extraction walks uint64_t words (Gf2Vector::for_each_set)
+  /// instead of probing every column bit — this is the hot re-export path
+  /// the solver's Gaussian elimination runs after every hash change.
+  template <typename Fn>
+  void for_each_reduced_row(Fn&& fn) const {
+    Row row;
+    for (const auto& stored : rows_) {
+      row.rhs = stored.rhs;
+      row.vars.clear();
+      row.vars.push_back(static_cast<std::uint32_t>(stored.pivot));
+      stored.coeffs.for_each_set([&](std::size_t v) {
+        if (v != stored.pivot) row.vars.push_back(static_cast<std::uint32_t>(v));
+      });
+      fn(static_cast<const Row&>(row));
+    }
+  }
 
  private:
   struct StoredRow {

@@ -62,6 +62,140 @@ TEST(Dimacs, ClauseWrappingAcrossLines) {
   EXPECT_EQ(cnf.clauses()[0].size(), 4u);
 }
 
+TEST(Dimacs, ToleratesCrlfTrailingWhitespaceAndBlankLines) {
+  const Cnf cnf = parse_dimacs_string(
+      "c header comment\r\n"
+      "p cnf 3 2  \r\n"
+      "\r\n"
+      "1 -2 0 \t\r\n"
+      "   \n"
+      "2 3 0\t \n"
+      "\n");
+  EXPECT_EQ(cnf.num_vars(), 3);
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0],
+            (std::vector<Lit>{Lit(0, false), Lit(1, true)}));
+}
+
+TEST(Dimacs, ToleratesCommentsBetweenClauses) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 2\n"
+      "c a comment between clauses\n"
+      "1 2 0\n"
+      "c another one\n"
+      "c and another\n"
+      "3 4 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(Dimacs, ToleratesCommentsAndBlanksInsideWrappedClause) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 1\n"
+      "1 2\n"
+      "c interrupting comment\n"
+      "\n"
+      "3 4 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 4u);
+}
+
+TEST(Dimacs, MultipleClausesPerPhysicalLine) {
+  // Tokens after a terminating 0 start the next clause — they must not be
+  // silently dropped.
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 3\n"
+      "1 2 0 3 4 0\n"
+      "-1 0 x2 3 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 3u);
+  EXPECT_EQ(cnf.clauses()[0],
+            (std::vector<Lit>{Lit(0, false), Lit(1, false)}));
+  EXPECT_EQ(cnf.clauses()[1],
+            (std::vector<Lit>{Lit(2, false), Lit(3, false)}));
+  EXPECT_EQ(cnf.clauses()[2], (std::vector<Lit>{Lit(0, true)}));
+  ASSERT_EQ(cnf.num_xors(), 1u);
+  EXPECT_EQ(cnf.xors()[0].vars, (std::vector<Var>{1, 2}));
+}
+
+TEST(Dimacs, TrailingSameLineCommentAfterClause) {
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 3 2\n"
+      "1 2 0 c trailing note\n"
+      "3 0 c ind 2 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  // Even a trailing `c ind` is honored, as everywhere else.
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(*cnf.sampling_set(), (std::vector<Var>{1}));
+}
+
+TEST(Dimacs, SecondClauseOnLineCanWrap) {
+  // A clause starting mid-line may still wrap onto the next line.
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 2\n"
+      "1 2 0 3\n"
+      "4 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[1],
+            (std::vector<Lit>{Lit(2, false), Lit(3, false)}));
+}
+
+TEST(Dimacs, IndDirectiveInsideWrappedClauseIsHonored) {
+  // A `c ind` line between the physical lines of a wrapped clause must
+  // register the sampling set, not vanish as a comment.
+  const Cnf cnf = parse_dimacs_string(
+      "p cnf 4 1\n"
+      "1 2\n"
+      "c ind 1 3 0\n"
+      "3 4 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 4u);
+  ASSERT_TRUE(cnf.sampling_set().has_value());
+  EXPECT_EQ(*cnf.sampling_set(), (std::vector<Var>{0, 2}));
+}
+
+TEST(Dimacs, HalfNumericTokenInsideWrappedClauseStillFails) {
+  // "c1 2 0" is not a comment: mid-clause it must surface as a parse
+  // error with the right line, exactly as it would at top level.
+  try {
+    parse_dimacs_string("p cnf 3 1\n1 2\nc1 3 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dimacs, ReportsLineNumberOnMalformedToken) {
+  try {
+    parse_dimacs_string("p cnf 3 2\n1 2 0\n1 two 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("two"), std::string::npos);
+  }
+}
+
+TEST(Dimacs, ReportsLineNumberOnHalfNumericToken) {
+  // "1a" must not be silently read as 1.
+  try {
+    parse_dimacs_string("p cnf 3 1\n1a 2 0\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dimacs, UnterminatedClauseReportsLastLine) {
+  try {
+    parse_dimacs_string("p cnf 3 1\n1 2 3\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unterminated"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Dimacs, MissingHeaderThrows) {
   EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::runtime_error);
 }

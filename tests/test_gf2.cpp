@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/gf2.hpp"
 #include "util/rng.hpp"
 
@@ -119,6 +121,59 @@ TEST(Gf2System, RankMatchesBruteForceSolutionCount) {
     const std::uint64_t expected =
         consistent ? (std::uint64_t{1} << (n - sys.rank())) : 0;
     EXPECT_EQ(solutions, expected) << "round " << round;
+  }
+}
+
+TEST(Gf2Vector, ForEachSetMatchesPerBitProbe) {
+  // The word-packed set-bit walk must enumerate exactly the bits a naive
+  // per-bit get() scan finds, in the same ascending order — including bits
+  // straddling uint64_t word boundaries.
+  Rng rng(53);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 1 + rng.below(300);
+    Gf2Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.below(4) == 0) v.set(i, true);
+    std::vector<std::size_t> reference;
+    for (std::size_t i = 0; i < n; ++i)
+      if (v.get(i)) reference.push_back(i);
+    std::vector<std::size_t> packed;
+    v.for_each_set([&](std::size_t i) { packed.push_back(i); });
+    EXPECT_EQ(packed, reference) << "round " << round << " n=" << n;
+  }
+}
+
+TEST(Gf2System, WordPackedRowExportMatchesPerBitReference) {
+  // reduced_rows() / for_each_reduced_row() extract sparse rows by peeling
+  // 64-bit words; this pins them against the per-bit formulation the code
+  // used before word-packing, on systems wider than one word.
+  Rng rng(59);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 70 + rng.below(120);
+    Gf2System sys(n);
+    for (int i = 0; i < 12; ++i) {
+      std::vector<std::uint32_t> vars;
+      for (std::uint32_t v = 0; v < n; ++v)
+        if (rng.below(8) == 0) vars.push_back(v);
+      if (vars.empty()) vars.push_back(static_cast<std::uint32_t>(rng.below(n)));
+      if (!sys.add_constraint(vars, rng.flip())) break;
+    }
+    const auto rows = sys.reduced_rows();
+    std::vector<Gf2System::Row> streamed;
+    sys.for_each_reduced_row(
+        [&](const Gf2System::Row& r) { streamed.push_back(r); });
+    ASSERT_EQ(rows.size(), streamed.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      EXPECT_EQ(rows[r].vars, streamed[r].vars);
+      EXPECT_EQ(rows[r].rhs, streamed[r].rhs);
+      // Per-bit reference: pivot first, then every other set column in
+      // ascending order.
+      ASSERT_FALSE(rows[r].vars.empty());
+      std::vector<std::uint32_t> sorted_tail(rows[r].vars.begin() + 1,
+                                             rows[r].vars.end());
+      EXPECT_TRUE(std::is_sorted(sorted_tail.begin(), sorted_tail.end()));
+      for (const auto v : sorted_tail) EXPECT_GT(v, rows[r].vars[0]);
+    }
   }
 }
 
