@@ -1,0 +1,90 @@
+// parallel_counter — the counting-service CLI: approximate a DIMACS
+// instance's (projected) model count on N threads.
+//
+//   $ ./parallel_counter formula.cnf [threads] [epsilon] [delta]
+//   $ ./parallel_counter                       # built-in demo workload
+//
+// The count is a deterministic function of (formula, epsilon, delta, seed)
+// alone: running with 1, 4 or 32 threads returns the same estimate, only
+// faster — thread count is a deployment knob, not a semantics knob.  The
+// report shows where the parallel counter's time went: per-worker engine
+// builds (one each), BSAT probes, and how many hash-count searches
+// leapfrogged off a completed iteration instead of galloping cold.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "cnf/dimacs.hpp"
+#include "counting/approxmc.hpp"
+#include "util/timer.hpp"
+#include "workloads/circuits.hpp"
+
+int main(int argc, char** argv) {
+  using namespace unigen;
+
+  Cnf cnf;
+  if (argc > 1) {
+    try {
+      cnf = parse_dimacs_file(argv[1]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot read %s: %s\n", argv[1], e.what());
+      return 1;
+    }
+  } else {
+    workloads::CircuitParityOptions co;
+    co.state_bits = 24;
+    co.input_bits = 12;
+    co.rounds = 2;
+    co.parity_constraints = 3;
+    co.seed = 7;
+    cnf = workloads::make_circuit_parity_bench(co, "demo");
+    std::printf("no input file; counting the built-in demo circuit\n");
+  }
+
+  ApproxMcOptions opts;
+  opts.num_threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
+  if (argc > 3) opts.epsilon = std::atof(argv[3]);
+  if (argc > 4) opts.delta = std::atof(argv[4]);
+
+  const std::size_t display_threads =
+      opts.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : opts.num_threads;
+  std::printf("counting %s on %zu thread(s), eps=%.2f delta=%.2f\n",
+              cnf.summary().c_str(), display_threads, opts.epsilon,
+              opts.delta);
+
+  Rng rng(0xDAC14);
+  const Stopwatch watch;
+  const ApproxMcResult r = approx_count(cnf, opts, rng);
+  const double seconds = watch.seconds();
+
+  if (!r.valid) {
+    std::printf("no estimate (%s)\n", r.timed_out ? "timed out" : "failed");
+    return 1;
+  }
+  if (r.exact)
+    std::printf("exact count: %llu  (small solution space)\n",
+                static_cast<unsigned long long>(r.cell_count));
+  else
+    std::printf("estimate: %llu * 2^%u  (log2 = %.2f)\n",
+                static_cast<unsigned long long>(r.cell_count), r.hash_count,
+                r.log2_value());
+  std::printf(
+      "  %.2fs wall, %llu BSAT probes, %d/%d iterations succeeded\n",
+      seconds, static_cast<unsigned long long>(r.bsat_calls),
+      r.iterations_succeeded, r.iterations_requested);
+  std::printf(
+      "  fan-out: %zu worker(s), leapfrog warm/cold = %llu/%llu\n",
+      r.threads_used,
+      static_cast<unsigned long long>(r.leapfrog_warm_starts),
+      static_cast<unsigned long long>(r.leapfrog_cold_starts));
+  for (std::size_t w = 0; w < r.workers.size(); ++w)
+    std::printf("  worker %zu: %llu solver build(s), %llu reused solves\n",
+                w,
+                static_cast<unsigned long long>(r.workers[w].solver_rebuilds),
+                static_cast<unsigned long long>(r.workers[w].reused_solves));
+  return 0;
+}

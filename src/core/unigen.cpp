@@ -115,6 +115,11 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   amc.delta = 1.0 - options.counter_confidence;
   amc.deadline = deadline;
   amc.bsat_timeout_s = options.bsat_timeout_s;
+  // 0 = "embedding decides"; for a caller that did not wire a pool through
+  // (plain UniGen), that is the serial in-place path.  SamplerPool::prepare
+  // resolves 0 to its own width before calling here.
+  amc.num_threads =
+      options.counter_threads == 0 ? 1 : options.counter_threads;
   amc.simplify.enabled = false;  // `formula` is already simplified
   const ApproxMcResult count = approx_count(formula, amc, rng);
   stats.prepare_bsat_calls += count.bsat_calls;

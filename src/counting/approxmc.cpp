@@ -4,8 +4,10 @@
 #include <cmath>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
-#include "hashing/xor_hash.hpp"
+#include "counting/approxmc_core.hpp"
+#include "counting/parallel_approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
 
 namespace unigen {
@@ -19,40 +21,20 @@ struct Estimate {
   }
 };
 
-struct ProbeOutcome {
-  std::uint64_t count = 0;
-  bool small = false;     // count <= pivot with the space exhausted
-  bool timed_out = false;
-};
-
 Deadline per_call_deadline(const ApproxMcOptions& options) {
   if (options.bsat_timeout_s <= 0.0) return options.deadline;
   const double remaining = options.deadline.remaining_seconds();
   return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
 }
 
-/// BSAT on F ∧ (first m rows of the iteration's hash), bounded at pivot+1.
-/// Runs on the persistent engine: rows are drawn lazily as m climbs and
-/// activated by assumption, so no CNF copy and no solver construction
-/// happens per call (ApproxMC2 uses the same nested-prefix hash levels).
-ProbeOutcome probe(IncrementalBsat& engine, std::uint32_t m,
-                   std::uint64_t pivot, const ApproxMcOptions& options,
-                   Rng& rng, std::uint64_t& bsat_calls) {
-  if (m > engine.hash_level())
-    engine.push_rows(draw_xor_hash(engine.projection(),
-                                   m - engine.hash_level(), rng));
-  const EnumerateResult r =
-      engine.enumerate_cell(m, pivot + 1, per_call_deadline(options), false);
-  ++bsat_calls;
-
-  ProbeOutcome out;
-  out.count = r.count;
-  out.timed_out = r.timed_out;
-  out.small = !r.timed_out && r.count <= pivot;
-  return out;
-}
-
 }  // namespace
+
+void fold_solver_stats(ApproxMcResult& result, const SolverStats& st) {
+  result.solver_rebuilds += st.solver_rebuilds;
+  result.reused_solves += st.reused_solves;
+  result.retracted_blocks += st.retracted_blocks;
+  result.solver_propagations += st.propagations + st.xor_propagations;
+}
 
 std::uint64_t approxmc_pivot(double epsilon) {
   if (epsilon <= 0.0) throw std::invalid_argument("approxmc: epsilon must be > 0");
@@ -99,92 +81,93 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
   }
   const Cnf& formula = simplifier ? simplifier->result() : cnf;
 
-  // One persistent solver for the whole count; every BSAT call below runs
-  // on it.  Engine counters are folded into the result before returning.
-  IncrementalBsat engine(formula, sampling_set);
-  const auto finish = [&](ApproxMcResult r) {
-    const SolverStats st = engine.stats();
-    r.solver_rebuilds = st.solver_rebuilds;
-    r.reused_solves = st.reused_solves;
-    r.retracted_blocks = st.retracted_blocks;
-    r.solver_propagations = st.propagations + st.xor_propagations;
-    return r;
+  // One persistent solver for the prologue (and, on the serial path, the
+  // whole count); the parallel path moves it into worker 0 so the probe's
+  // warm-up is not wasted and each worker still builds exactly one solver.
+  auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
+  const auto fold_engine = [&result, &engine] {
+    fold_solver_stats(result, engine->stats());
   };
 
   // Unhashed first: small solution spaces are counted exactly.
   {
-    const EnumerateResult r = engine.enumerate_cell(
+    const EnumerateResult r = engine->enumerate_cell(
         0, result.pivot + 1, per_call_deadline(options), false);
     ++result.bsat_calls;
     if (r.timed_out) {
       result.timed_out = true;
-      return finish(result);
+      fold_engine();
+      return result;
     }
     if (r.count <= result.pivot) {
       result.valid = true;
       result.exact = true;
       result.cell_count = r.count;
       result.hash_count = 0;
-      return finish(result);
+      fold_engine();
+      return result;
     }
   }
   if (n == 0) {
     // Sampling set exhausted but more than pivot projections exist — cannot
     // happen; defensive.
-    return finish(result);
+    fold_engine();
+    return result;
   }
 
   result.iterations_requested = approxmc_iteration_count(options.delta);
-  std::vector<Estimate> estimates;
-  std::uint32_t prev_m = 1;
+  // Per-iteration keyed RNG streams: iteration i draws everything from
+  // fork_stream(i) of a one-draw fork of the caller's rng.  Serial and
+  // parallel paths advance the caller's rng identically (that one draw)
+  // and hand iteration i identical randomness, which — together with the
+  // canonical fold below — makes the count a pure function of
+  // (formula, options, seed), thread count excluded.
+  Rng iter_base = rng.fork();
+  std::size_t threads =
+      options.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  // More workers than iterations would only build idle engines.
+  threads = std::min(threads,
+                     static_cast<std::size_t>(result.iterations_requested));
 
-  for (int iter = 0; iter < result.iterations_requested; ++iter) {
-    if (options.deadline.expired()) {
-      result.timed_out = estimates.empty();
-      break;
+  std::vector<ApproxMcCoreOutcome> outcomes(
+      static_cast<std::size_t>(result.iterations_requested));
+  if (threads > 1) {
+    parallel_approxmc_iterations(formula, sampling_set, options, threads,
+                                 iter_base, std::move(engine), outcomes,
+                                 result);
+  } else {
+    std::uint32_t prev_m = 0;  // 0 = cold start for the first iteration
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (options.deadline.expired()) break;  // later slots stay "skipped"
+      Rng it_rng = iter_base.fork_stream(i);
+      outcomes[i] = approxmc_core_iteration(*engine, n, result.pivot,
+                                            options, prev_m, it_rng);
+      // ApproxMC2-style leapfrog: the next search starts from this m.
+      if (outcomes[i].ok) prev_m = outcomes[i].hash_count;
     }
-    // ApproxMC2-style search for the smallest m with a small cell:
-    // lo = largest m known big, hi = smallest m known small.
-    std::uint32_t lo = 0;
-    std::uint32_t hi = n + 1;
-    std::uint64_t hi_count = 0;
-    std::uint32_t m = std::clamp<std::uint32_t>(prev_m, 1, n);
-    bool iteration_failed = false;
-    engine.begin_hash();  // fresh hash per iteration; levels nest within it
-    for (;;) {
-      const ProbeOutcome pr =
-          probe(engine, m, result.pivot, options, rng, result.bsat_calls);
-      if (pr.timed_out) {
-        iteration_failed = true;
-        break;
-      }
-      if (pr.small) {
-        hi = m;
-        hi_count = pr.count;
-      } else {
-        lo = m;
-      }
-      if (hi == lo + 1) break;
-      if (hi == n + 1) {
-        // still galloping upward
-        m = std::min(n, std::max(lo + 1, 2 * m));
-      } else {
-        m = (lo + hi) / 2;
-      }
-      if (m > n) {
-        iteration_failed = true;
-        break;
-      }
-    }
-    if (iteration_failed || hi == n + 1 || hi_count == 0) continue;
-    estimates.push_back(Estimate{hi_count, hi});
-    prev_m = hi;
-    ++result.iterations_succeeded;
+    fold_engine();
   }
 
+  // Canonical fold: walk outcomes in iteration order — whatever schedule
+  // produced them — then take the median by value.  Identical on the
+  // serial and every parallel schedule because each outcome is a pure
+  // function of its iteration's stream (approxmc_core.hpp).
+  std::vector<Estimate> estimates;
+  for (const ApproxMcCoreOutcome& o : outcomes) {
+    result.bsat_calls += o.bsat_calls;
+    if (o.bsat_calls > 0)  // the iteration actually started
+      ++(o.leapfrogged ? result.leapfrog_warm_starts
+                       : result.leapfrog_cold_starts);
+    if (o.ok) {
+      estimates.push_back(Estimate{o.cell_count, o.hash_count});
+      ++result.iterations_succeeded;
+    }
+  }
   if (estimates.empty()) {
-    result.timed_out = result.timed_out || options.deadline.expired();
-    return finish(result);
+    result.timed_out = options.deadline.expired();
+    return result;
   }
   std::sort(estimates.begin(), estimates.end(),
             [](const Estimate& a, const Estimate& b) {
@@ -194,7 +177,7 @@ ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
   result.valid = true;
   result.cell_count = median.cell_count;
   result.hash_count = median.hash_count;
-  return finish(result);
+  return result;
 }
 
 }  // namespace unigen

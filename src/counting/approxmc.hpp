@@ -24,8 +24,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "cnf/cnf.hpp"
+#include "sat/solver.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -40,6 +42,19 @@ struct ApproxMcOptions {
   /// Optional per-BSAT-call timeout in seconds (0 = none); mirrors the
   /// paper's 2500 s per-call budget.
   double bsat_timeout_s = 0.0;
+  /// Worker threads the t median iterations fan out across: 1 = serial
+  /// (in-place, no threads spawned), 0 = hardware_concurrency, n = n.
+  /// Iterations are independent (that is the median argument), each draws
+  /// from its own keyed RNG stream, and results fold in canonical
+  /// iteration order — so the reported count is byte-identical across all
+  /// values of this switch for a fixed seed (asserted by
+  /// tests/test_parallel_approxmc.cpp); only wall-clock changes.  Caveat
+  /// (as for the sampling service): the contract assumes no per-probe
+  /// budget fires — whether a solve beats bsat_timeout_s / the deadline is
+  /// machine- and schedule-dependent, and an iteration cut short in one
+  /// schedule but not another shifts the median.  Keep the budgets
+  /// comfortably above per-probe solve times when replicas must agree.
+  std::size_t num_threads = 1;
   /// Count-safe CNF simplification in front of the run (on by default;
   /// projected counts over S are invariant, see simplify/simplify.hpp).
   /// Callers that already simplified the formula turn it off.
@@ -71,17 +86,37 @@ struct ApproxMcResult {
   int iterations_succeeded = 0;
   std::uint64_t bsat_calls = 0;
   // Incremental-BSAT engine counters for the run: all bsat_calls above are
-  // served by one persistent solver, so solver_rebuilds stays at 1 (the
-  // initial construction) unless the inert-row cap forces a rebuild.
+  // served by persistent solvers (one on the serial path, one per worker on
+  // the parallel path), so solver_rebuilds stays at the number of engines
+  // built unless the inert-row cap forces a rebuild.  On parallel runs
+  // these flat fields are the SolverStats::merge fold across workers; the
+  // per-worker breakdown is in `workers`.
   std::uint64_t solver_rebuilds = 0;
   std::uint64_t reused_solves = 0;
   std::uint64_t retracted_blocks = 0;
-  /// Total propagations (clause + XOR) of the run's engine — the work
+  /// Total propagations (clause + XOR) of the run's engine(s) — the work
   /// metric the simplification bench compares on.
   std::uint64_t solver_propagations = 0;
+  /// Leapfrog accounting: iterations whose hash-count search started from
+  /// a previously completed iteration's m versus from the cold gallop.
+  /// warm + cold == iterations actually started (deadline skips excluded).
+  std::uint64_t leapfrog_warm_starts = 0;
+  std::uint64_t leapfrog_cold_starts = 0;
+  /// Worker threads the iterations actually fanned out across (1 when the
+  /// run stayed serial, including exact/unsat short-circuits).
+  std::size_t threads_used = 1;
+  /// Per-worker engine counters of a parallel run, indexed by worker
+  /// (empty on the serial path).  Worker 0 includes the shared prologue:
+  /// it adopts the engine that served the initial exact-count probe.
+  std::vector<SolverStats> workers;
   /// What the preprocessing pipeline did (ran == false when disabled).
   SimplifyStats simplify;
 };
+
+/// Folds an engine's counters into the flat diagnostic fields of `result`
+/// (additive).  The one fold both the serial and the parallel path use, so
+/// a counter surfaced in ApproxMcResult cannot drift between them.
+void fold_solver_stats(ApproxMcResult& result, const SolverStats& st);
 
 /// pivot(ε) = 2·⌈3·e^{1/2}·(1 + 1/ε)²⌉  (CP 2013).
 std::uint64_t approxmc_pivot(double epsilon);

@@ -1,0 +1,91 @@
+#include "counting/approxmc_core.hpp"
+
+#include <algorithm>
+
+#include "hashing/xor_hash.hpp"
+
+namespace unigen {
+namespace {
+
+struct ProbeOutcome {
+  std::uint64_t count = 0;
+  bool small = false;  // count <= pivot with the space exhausted
+  bool timed_out = false;
+};
+
+Deadline per_call_deadline(const ApproxMcOptions& options) {
+  if (options.bsat_timeout_s <= 0.0) return options.deadline;
+  const double remaining = options.deadline.remaining_seconds();
+  return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
+}
+
+/// BSAT on F ∧ (first m rows of the iteration's hash), bounded at pivot+1.
+/// Runs on the persistent engine: rows are drawn lazily as m climbs and
+/// activated by assumption, so no CNF copy and no solver construction
+/// happens per call (ApproxMC2 uses the same nested-prefix hash levels).
+ProbeOutcome probe(IncrementalBsat& engine, std::uint32_t m,
+                   std::uint64_t pivot, const ApproxMcOptions& options,
+                   Rng& rng, std::uint64_t& bsat_calls) {
+  if (m > engine.hash_level())
+    engine.push_rows(
+        draw_xor_hash(engine.projection(), m - engine.hash_level(), rng));
+  const EnumerateResult r =
+      engine.enumerate_cell(m, pivot + 1, per_call_deadline(options), false);
+  ++bsat_calls;
+
+  ProbeOutcome out;
+  out.count = r.count;
+  out.timed_out = r.timed_out;
+  out.small = !r.timed_out && r.count <= pivot;
+  return out;
+}
+
+}  // namespace
+
+ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
+                                            std::uint32_t n,
+                                            std::uint64_t pivot,
+                                            const ApproxMcOptions& options,
+                                            std::uint32_t start_m, Rng& rng) {
+  ApproxMcCoreOutcome out;
+  out.leapfrogged = start_m > 0;
+
+  // Search for the smallest m with a small cell: lo = largest m known big,
+  // hi = smallest m known small.  Cold runs gallop up from m = 1;
+  // leapfrogged runs start at the hint, which the previous iteration's
+  // concentration makes an excellent first probe (ApproxMC2's observation).
+  std::uint32_t lo = 0;
+  std::uint32_t hi = n + 1;
+  std::uint64_t hi_count = 0;
+  std::uint32_t m = std::clamp<std::uint32_t>(std::max(start_m, 1u), 1, n);
+  engine.begin_hash();  // fresh hash per iteration; levels nest within it
+  for (;;) {
+    const ProbeOutcome pr = probe(engine, m, pivot, options, rng,
+                                  out.bsat_calls);
+    if (pr.timed_out) {
+      out.timed_out = true;
+      return out;
+    }
+    if (pr.small) {
+      hi = m;
+      hi_count = pr.count;
+    } else {
+      lo = m;
+    }
+    if (hi == lo + 1) break;
+    if (hi == n + 1) {
+      // still galloping upward
+      m = std::min(n, std::max(lo + 1, 2 * m));
+    } else {
+      m = (lo + hi) / 2;
+    }
+    if (m > n) return out;  // no m <= n yields a small cell
+  }
+  if (hi == n + 1 || hi_count == 0) return out;
+  out.ok = true;
+  out.cell_count = hi_count;
+  out.hash_count = hi;
+  return out;
+}
+
+}  // namespace unigen

@@ -1,0 +1,63 @@
+#pragma once
+// ApproxMcCore — one median iteration of ApproxMC, shared verbatim by the
+// serial loop (counting/approxmc.cpp) and the parallel counting service
+// (counting/parallel_approxmc.cpp) so the two paths cannot drift.
+//
+// An iteration draws one hash h from H_xor(|S|, ·, 3) lazily (rows appear
+// as the search climbs, nested-prefix style) and finds the smallest hash
+// count m whose cell F ∧ (first m rows) has at most `pivot` solutions,
+// returning that cell's exact size.  Two properties make the surrounding
+// schedulers free to reorder and leapfrog iterations:
+//
+//   * Stream purity: row j of the hash is drawn exactly once, in level
+//     order, and consumes a fixed number of draws (|S| + 2), so the whole
+//     hash — and therefore the iteration's outcome — is a pure function of
+//     the iteration's private RNG stream, no matter which probes the
+//     search happens to make.
+//   * Monotonicity: the cells of nested hash prefixes are nested, so cell
+//     size is non-increasing in m and "smallest m with a small cell" is
+//     well-defined independently of where the search starts.
+//
+// Hence `start_m` (the leapfrog hint: the m a previously completed
+// iteration landed on) changes only the number of BSAT probes, never the
+// outcome — which is exactly why the parallel service can share hints
+// across racing iterations and still fold byte-identical results, and why
+// ApproxMC2-style leapfrogging costs no part of the (ε, δ) analysis here.
+// The single caveat is a per-probe timeout: an iteration cut short reports
+// timed_out and contributes nothing.
+
+#include <cstdint>
+
+#include "counting/approxmc.hpp"
+#include "sat/incremental_bsat.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+struct ApproxMcCoreOutcome {
+  /// The iteration produced an estimate (cell_count · 2^hash_count).
+  bool ok = false;
+  /// A per-probe deadline expired mid-search.
+  bool timed_out = false;
+  std::uint64_t cell_count = 0;
+  std::uint32_t hash_count = 0;
+  /// BSAT probes this iteration made (the leapfrog savings show up here).
+  std::uint64_t bsat_calls = 0;
+  /// True when the search started from a prior iteration's m (start_m > 0)
+  /// instead of the cold gallop from m = 1.
+  bool leapfrogged = false;
+};
+
+/// Runs one iteration on `engine` (a fresh hash epoch is opened; previous
+/// epochs' rows become inert).  `n` = |S|, `pivot` the cell-size bound,
+/// `start_m` = 0 for the cold search or the leapfrog hint.  Uses
+/// options.deadline / options.bsat_timeout_s for the per-probe budget; the
+/// caller owns the iteration-level deadline policy.  `rng` must be the
+/// iteration's private stream (see stream purity above).
+ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
+                                            std::uint32_t n,
+                                            std::uint64_t pivot,
+                                            const ApproxMcOptions& options,
+                                            std::uint32_t start_m, Rng& rng);
+
+}  // namespace unigen

@@ -1,0 +1,54 @@
+#include "counting/parallel_approxmc.hpp"
+
+#include <atomic>
+
+#include "service/worker_pool.hpp"
+
+namespace unigen {
+
+void parallel_approxmc_iterations(const Cnf& formula,
+                                  const std::vector<Var>& sampling_set,
+                                  const ApproxMcOptions& options,
+                                  std::size_t threads, const Rng& iter_base,
+                                  std::unique_ptr<IncrementalBsat> warm_engine,
+                                  std::vector<ApproxMcCoreOutcome>& outcomes,
+                                  ApproxMcResult& result) {
+  const auto n = static_cast<std::uint32_t>(sampling_set.size());
+  const std::uint64_t pivot = result.pivot;
+
+  // The leapfrog hint: hash count of the last completed iteration, 0 while
+  // none has finished.  Racy on purpose — the hint only steers where the
+  // search starts, never what it finds (approxmc_core.hpp), so relaxed
+  // loads/stores are all the coordination the fan-out needs.
+  std::atomic<std::uint32_t> hint{0};
+
+  WorkerPool pool(threads, iter_base);
+  pool.start(formula, sampling_set, std::move(warm_engine));
+  pool.run(outcomes.size(), /*first_stream=*/0,
+           [&](IncrementalBsat& engine, std::size_t /*worker*/,
+               std::size_t i, Rng& rng) {
+             if (options.deadline.expired()) return;  // slot stays "skipped"
+             const std::uint32_t start_m =
+                 hint.load(std::memory_order_relaxed);
+             outcomes[i] = approxmc_core_iteration(engine, n, pivot, options,
+                                                   start_m, rng);
+             if (outcomes[i].ok)
+               hint.store(outcomes[i].hash_count, std::memory_order_relaxed);
+           });
+
+  result.threads_used = pool.num_threads();
+  result.workers.reserve(pool.num_threads());
+  // Aggregate through SolverStats::merge (the path the coverage test in
+  // tests/test_solver_stats.cpp guards), then project into the flat result
+  // fields through the same fold_solver_stats the serial path uses —
+  // counters added to SolverStats cannot silently drop out of pooled
+  // totals or drift between the two paths.
+  SolverStats total;
+  for (std::size_t w = 0; w < pool.num_threads(); ++w) {
+    result.workers.push_back(pool.engine_stats(w));
+    total.merge(result.workers.back());
+  }
+  fold_solver_stats(result, total);
+}
+
+}  // namespace unigen

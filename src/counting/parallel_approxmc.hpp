@@ -1,0 +1,63 @@
+#pragma once
+// Parallel ApproxMC — the counting half of the service layer.
+//
+// Algorithm 1 of the paper blocks on one ApproxMC call before any sample
+// can be served, and ApproxMC itself is t independent median iterations —
+// the same independence that makes sampling embarrassingly parallel
+// (UniGen2's observation) applies verbatim to the counting phase.  This
+// module fans the t ApproxMcCore iterations across a WorkerPool:
+//
+//   * each worker owns one lazily-built IncrementalBsat over the shared
+//     (already simplified) formula; worker 0 adopts the engine the
+//     exact-count prologue warmed up, so every worker builds exactly one
+//     solver (ApproxMcResult::workers[i].solver_rebuilds == 1);
+//   * iteration i draws everything from keyed stream i — identical to the
+//     serial loop — so its outcome is schedule-independent;
+//   * the hash-count search of each iteration starts leapfrogged from the
+//     last *completed* iteration's m (a lock-free shared hint; cold gallop
+//     when none has finished yet).  Monotonicity of nested-prefix cells
+//     (approxmc_core.hpp) makes the starting point a pure probe-count
+//     optimization, so the racy hint is harmless: any hint value yields
+//     the same outcome, just fewer or more probes;
+//   * outcomes land in canonical iteration-order slots; the caller folds
+//     the median from them exactly as the serial path does.
+//
+// Net effect: approx_count(options.num_threads = N) returns byte-identical
+// counts for every N — including N = 1, the serial path — while wall-clock
+// scales with min(N, cores) and total BSAT probes stay within a leapfrog
+// miss or two of serial (tracked by leapfrog_warm/cold_starts and
+// bench/bench_parallel_count.cpp).
+//
+// Entry point for callers is still approx_count (counting/approxmc.hpp),
+// which dispatches here; this header exists for the dispatcher and for
+// tests that want the fan-out in isolation.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "counting/approxmc.hpp"
+#include "counting/approxmc_core.hpp"
+#include "sat/incremental_bsat.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+/// Fans `outcomes.size()` core iterations across `threads` workers.
+/// `formula` must be the (possibly simplified) formula the prologue probed
+/// and must outlive the call; `warm_engine` (worker 0 adopts it) is the
+/// prologue's engine.  Iteration i draws from iter_base.fork_stream(i).
+/// Fills `outcomes` in canonical iteration order and folds the per-worker
+/// engine counters into `result` (workers, the flat solver_* fields, and
+/// threads_used).  Leapfrog/median accounting stays with the caller, which
+/// processes `outcomes` the same way for every schedule.
+void parallel_approxmc_iterations(const Cnf& formula,
+                                  const std::vector<Var>& sampling_set,
+                                  const ApproxMcOptions& options,
+                                  std::size_t threads, const Rng& iter_base,
+                                  std::unique_ptr<IncrementalBsat> warm_engine,
+                                  std::vector<ApproxMcCoreOutcome>& outcomes,
+                                  ApproxMcResult& result);
+
+}  // namespace unigen

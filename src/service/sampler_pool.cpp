@@ -6,19 +6,12 @@
 
 namespace unigen {
 
-// One fan-out: `count` requests pulled from an atomic cursor.  Lives on the
-// dispatcher's stack for the duration of run_job; `active` (mutex-guarded)
-// counts workers still attached, so the dispatcher never returns — and the
-// Job never dies — while a worker could still touch it.
+// What one fan-out is about: the request kind and the preallocated result
+// slots.  The thread/cursor machinery lives in WorkerPool.
 struct SamplerPool::Job {
   enum class Kind { kSingles, kBatches };
   Kind kind = Kind::kSingles;
-  std::size_t count = 0;
   std::size_t max_batch = 0;
-  std::uint64_t first_stream = 0;  ///< rng stream of request 0
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::size_t active = 0;  // guarded by SamplerPool::mu_
   std::vector<SampleResult>* singles = nullptr;
   std::vector<BatchResult>* batches = nullptr;
 };
@@ -27,80 +20,45 @@ SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
     : cnf_(std::move(cnf)),
       sampling_set_(cnf_.sampling_set_or_all()),
       options_(options),
-      base_rng_(options.seed) {
-  std::size_t n = options_.num_threads;
-  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  workers_.resize(n);
-}
-
-SamplerPool::~SamplerPool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+      pool_(options.num_threads, Rng(options.seed)) {
+  worker_ugstats_.resize(pool_.num_threads());
 }
 
 bool SamplerPool::prepare() {
   if (prepared_) return prep_.usable();
-  Rng prepare_rng = base_rng_.fork_stream(0);
-  auto engine = unigen_prepare(cnf_, sampling_set_, options_.unigen,
+  Rng prepare_rng = pool_.fork_stream(0);
+  // The one-time ApproxMC call fans its median iterations across as many
+  // threads as this pool serves requests with (unless the caller pinned
+  // counter_threads explicitly).  The parallel count is byte-identical
+  // across thread counts, so q — and every sample downstream — still is.
+  // Known cost: the counter's fan-out builds its own transient WorkerPool
+  // and discards those engines; the sampling workers below load the same
+  // simplified formula again (one extra O(formula) build per worker, paid
+  // once per pool — engine handoff across the two fan-outs is a ROADMAP
+  // item).
+  UniGenOptions unigen_options = options_.unigen;
+  if (unigen_options.counter_threads == 0)
+    unigen_options.counter_threads = pool_.num_threads();
+  auto engine = unigen_prepare(cnf_, sampling_set_, unigen_options,
                                prepare_rng, prep_, prepare_stats_);
   prepared_ = true;
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
     // Worker 0 adopts the engine the easy-case check already built (and
     // warmed with learnt clauses); the others build theirs on first use.
-    workers_[0].engine = std::move(engine);
-    threads_.reserve(workers_.size());
-    for (std::size_t i = 0; i < workers_.size(); ++i)
-      threads_.emplace_back([this, i] { worker_main(i); });
+    pool_.start(prep_.formula(cnf_), sampling_set_, std::move(engine));
   }
   return prep_.usable();
 }
 
-void SamplerPool::worker_main(std::size_t worker_index) {
-  Worker& worker = workers_[worker_index];
-  std::uint64_t seen_seq = 0;
-  for (;;) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || job_seq_ != seen_seq; });
-      if (stop_) return;
-      seen_seq = job_seq_;
-      job = job_;  // null when the job already finished without us
-      if (job != nullptr) ++job->active;
-    }
-    if (job == nullptr) continue;
-    for (;;) {
-      const std::size_t k = job->next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= job->count) break;
-      serve(worker, *job, k);
-      job->done.fetch_add(1, std::memory_order_acq_rel);
-    }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      --job->active;
-    }
-    done_cv_.notify_all();
-  }
-}
-
-void SamplerPool::serve(Worker& worker, Job& job, std::size_t k) {
+void SamplerPool::serve(IncrementalBsat& engine, std::size_t worker, Job& job,
+                        std::size_t k, Rng& rng) {
   // Workers solve the formula prepare() simplified (prep_ owns it and
   // outlives every engine); accept_cell reconstructs the witnesses, so the
   // service output is over the original formula's variables either way.
-  if (!worker.engine)
-    worker.engine =
-        std::make_unique<IncrementalBsat>(prep_.formula(cnf_), sampling_set_);
-  // All randomness of request k comes from its keyed stream — identical no
-  // matter which worker runs this.
-  Rng rng = base_rng_.fork_stream(job.first_stream + k);
   bool timed_out = false;
-  std::vector<Model> cell =
-      unigen_accept_cell(*worker.engine, sampling_set_, prep_, options_.unigen,
-                         cnf_.num_vars(), rng, worker.stats, timed_out);
+  std::vector<Model> cell = unigen_accept_cell(
+      engine, sampling_set_, prep_, options_.unigen, cnf_.num_vars(), rng,
+      worker_ugstats_[worker], timed_out);
   if (job.kind == Job::Kind::kSingles) {
     SampleResult& out = (*job.singles)[k];
     if (timed_out)
@@ -122,24 +80,6 @@ void SamplerPool::serve(Worker& worker, Job& job, std::size_t k) {
       out.models = std::move(cell);
     }
   }
-  ++worker.served;
-}
-
-void SamplerPool::run_job(Job& job) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_ = &job;
-    ++job_seq_;
-  }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] {
-    return job.done.load(std::memory_order_acquire) == job.count &&
-           job.active == 0;
-  });
-  // Cleared under the lock: a worker waking late sees job_ == nullptr and
-  // goes back to sleep instead of touching the dead job.
-  job_ = nullptr;
 }
 
 SampleResult SamplerPool::inline_single(std::uint64_t stream) {
@@ -147,7 +87,7 @@ SampleResult SamplerPool::inline_single(std::uint64_t stream) {
     case UniGenPrepared::Mode::kUnsat:
       return SampleResult::unsat();
     case UniGenPrepared::Mode::kTrivial: {
-      Rng rng = base_rng_.fork_stream(stream);
+      Rng rng = pool_.fork_stream(stream);
       return SampleResult::success(unigen_trivial_single(prep_, rng));
     }
     default:
@@ -163,7 +103,7 @@ BatchResult SamplerPool::inline_batch(std::uint64_t stream,
       out.status = SampleResult::Status::kUnsat;
       return out;
     case UniGenPrepared::Mode::kTrivial: {
-      Rng rng = base_rng_.fork_stream(stream);
+      Rng rng = pool_.fork_stream(stream);
       out.models = unigen_trivial_batch(prep_, max_batch, rng);
       out.status = SampleResult::Status::kOk;
       return out;
@@ -201,10 +141,12 @@ std::vector<SampleResult> SamplerPool::sample_many(std::size_t count) {
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
     Job job;
     job.kind = Job::Kind::kSingles;
-    job.count = count;
-    job.first_stream = first_stream;
     job.singles = &results;
-    run_job(job);
+    pool_.run(count, first_stream,
+              [this, &job](IncrementalBsat& engine, std::size_t worker,
+                           std::size_t k, Rng& rng) {
+                serve(engine, worker, job, k, rng);
+              });
   } else {
     for (std::size_t k = 0; k < count; ++k)
       results[k] = inline_single(first_stream + k);
@@ -225,11 +167,13 @@ std::vector<BatchResult> SamplerPool::sample_batches(std::size_t requests,
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
     Job job;
     job.kind = Job::Kind::kBatches;
-    job.count = requests;
     job.max_batch = max_batch;
-    job.first_stream = first_stream;
     job.batches = &results;
-    run_job(job);
+    pool_.run(requests, first_stream,
+              [this, &job](IncrementalBsat& engine, std::size_t worker,
+                           std::size_t k, Rng& rng) {
+                serve(engine, worker, job, k, rng);
+              });
   } else {
     for (std::size_t k = 0; k < requests; ++k)
       results[k] = inline_batch(first_stream + k, max_batch);
@@ -247,19 +191,17 @@ SamplerPoolStats SamplerPool::stats() const {
   out.samples_failed = failed_;
   out.samples_timed_out = timed_out_;
   out.service_seconds = service_seconds_;
-  out.workers.reserve(workers_.size());
-  for (const Worker& w : workers_) {
+  out.workers.reserve(pool_.num_threads());
+  for (std::size_t w = 0; w < pool_.num_threads(); ++w) {
     SamplerPoolWorkerStats ws;
-    ws.requests_served = w.served;
-    if (w.engine) {
-      const SolverStats es = w.engine->stats();
-      ws.solver_rebuilds = es.solver_rebuilds;
-      ws.reused_solves = es.reused_solves;
-    }
-    ws.sample_bsat_calls = w.stats.sample_bsat_calls;
-    ws.bsat_timeout_retries = w.stats.bsat_timeout_retries;
-    ws.total_xor_rows = w.stats.total_xor_rows;
-    ws.total_xor_row_length = w.stats.total_xor_row_length;
+    ws.requests_served = pool_.tasks_served(w);
+    const SolverStats es = pool_.engine_stats(w);
+    ws.solver_rebuilds = es.solver_rebuilds;
+    ws.reused_solves = es.reused_solves;
+    ws.sample_bsat_calls = worker_ugstats_[w].sample_bsat_calls;
+    ws.bsat_timeout_retries = worker_ugstats_[w].bsat_timeout_retries;
+    ws.total_xor_rows = worker_ugstats_[w].total_xor_rows;
+    ws.total_xor_row_length = worker_ugstats_[w].total_xor_row_length;
     out.workers.push_back(ws);
   }
   return out;

@@ -11,11 +11,15 @@
 //     since PR 3, running the count-safe simplification pipeline whose
 //     shrunk formula (owned by UniGenPrepared::simplifier) is what all
 //     engines load; witnesses are reconstructed onto the original formula
-//     inside unigen_accept_cell.
-//   * N worker threads each own a private IncrementalBsat engine over the
-//     one shared (simplified) Cnf (the engine keeps a reference — no
-//     formula copies) — one solver build per worker for the whole pool
-//     lifetime, observable via
+//     inside unigen_accept_cell.  Since the counting layer went parallel,
+//     the ApproxMC call inside prepare() fans its median iterations across
+//     the same number of threads as this pool (UniGenOptions::
+//     counter_threads = 0 means "match the service"), so the one-time
+//     phase is no longer the serial latency floor of a deployment.
+//   * The thread/engine machinery lives in WorkerPool (worker_pool.hpp):
+//     N worker threads each own a private IncrementalBsat engine over the
+//     one shared (simplified) Cnf — one solver build per worker for the
+//     whole pool lifetime, observable via
 //     SamplerPoolStats::workers[i].solver_rebuilds == 1.
 //   * Work items are pulled from an atomic cursor, so load balances itself;
 //     results land in a preallocated slot per request — no result-order
@@ -35,7 +39,10 @@
 // the request's stream, and whether a solve beats its wall-clock budget is
 // machine- and contention-dependent.  Keep bsat_timeout_s comfortably above
 // the workload's per-cell solve time (orders of magnitude, as the defaults
-// are) when byte-identical replicas matter.
+// are) when byte-identical replicas matter.  The same caveat covers the
+// parallel count inside prepare(): a per-probe budget firing mid-iteration
+// is schedule-dependent and can shift q (see ApproxMcOptions::num_threads);
+// with budgets that never bind, q is thread-count-independent.
 //
 // Threading contract: one dispatcher thread drives the pool (prepare /
 // sample_many / sample_batches / stats are not reentrant); the fan-out
@@ -43,18 +50,14 @@
 // return, every worker has quiesced, which is also what makes stats()
 // race-free.
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "cnf/cnf.hpp"
 #include "core/sampler.hpp"
 #include "core/unigen.hpp"
-#include "sat/incremental_bsat.hpp"
+#include "service/worker_pool.hpp"
 #include "util/rng.hpp"
 
 namespace unigen {
@@ -65,7 +68,9 @@ struct SamplerPoolOptions {
   /// Master seed: the whole service output is a deterministic function of
   /// (formula, options, seed, request sequence) — thread count excluded.
   std::uint64_t seed = 0xDAC14;
-  /// ε and the time budgets, shared by prepare and every worker.
+  /// ε and the time budgets, shared by prepare and every worker.  Its
+  /// counter_threads = 0 default resolves to this pool's thread count, so
+  /// prepare()'s ApproxMC call parallelizes with the service.
   UniGenOptions unigen;
 };
 
@@ -117,7 +122,6 @@ class SamplerPool {
   /// `cnf` is copied once into the pool and never mutated afterwards; all
   /// worker engines reference this single copy.
   explicit SamplerPool(Cnf cnf, SamplerPoolOptions options = {});
-  ~SamplerPool();
   SamplerPool(const SamplerPool&) = delete;
   SamplerPool& operator=(const SamplerPool&) = delete;
 
@@ -137,7 +141,7 @@ class SamplerPool {
   std::vector<BatchResult> sample_batches(std::size_t requests,
                                           std::size_t max_batch);
 
-  std::size_t num_threads() const { return workers_.size(); }
+  std::size_t num_threads() const { return pool_.num_threads(); }
   /// Valid after prepare().
   const UniGenPrepared& prepared() const { return prep_; }
   /// Snapshot; call between service calls (see the threading contract).
@@ -145,18 +149,11 @@ class SamplerPool {
 
  private:
   struct Job;
-  struct Worker {
-    /// Built lazily on the worker's first request (worker 0 adopts the
-    /// engine prepare() warmed up), then reused for the pool lifetime.
-    std::unique_ptr<IncrementalBsat> engine;
-    /// Accept-cell aggregates + engine counters, private to the worker.
-    UniGenStats stats;
-    std::uint64_t served = 0;
-  };
 
-  void worker_main(std::size_t worker_index);
-  void serve(Worker& worker, Job& job, std::size_t k);
-  void run_job(Job& job);
+  /// One request (lines 12–22) on the serving worker's engine and the
+  /// request's keyed stream; writes the result into the job's slot k.
+  void serve(IncrementalBsat& engine, std::size_t worker, Job& job,
+             std::size_t k, Rng& rng);
   /// Serves trivial/unsat/timed-out modes on the dispatcher thread.
   SampleResult inline_single(std::uint64_t stream);
   BatchResult inline_batch(std::uint64_t stream, std::size_t max_batch);
@@ -165,12 +162,10 @@ class SamplerPool {
   Cnf cnf_;
   std::vector<Var> sampling_set_;
   SamplerPoolOptions options_;
-  /// Only fork_stream() (const) is ever used: stream 0 = prepare, streams
-  /// 1.. = requests in submission order.
-  Rng base_rng_;
   UniGenPrepared prep_;
   UniGenStats prepare_stats_;
   bool prepared_ = false;
+  /// Stream 0 = prepare, streams 1.. = requests in submission order.
   std::uint64_t next_stream_ = 1;
 
   // Outcome totals (dispatcher thread only).
@@ -180,14 +175,12 @@ class SamplerPool {
   std::uint64_t timed_out_ = 0;
   double service_seconds_ = 0.0;
 
-  std::vector<Worker> workers_;
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Job* job_ = nullptr;           // guarded by mu_
-  std::uint64_t job_seq_ = 0;    // guarded by mu_; bumped per submission
-  bool stop_ = false;            // guarded by mu_
+  /// Threads, engines and keyed streams; started by prepare() in hashed
+  /// mode only.
+  WorkerPool pool_;
+  /// Accept-cell aggregates, one slot per worker, each touched only by its
+  /// worker thread during a run (read between runs by stats()).
+  std::vector<UniGenStats> worker_ugstats_;
 };
 
 }  // namespace unigen

@@ -1,0 +1,110 @@
+#include "service/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace unigen {
+
+// One fan-out: `count` tasks pulled from an atomic cursor.  Lives on the
+// dispatcher's stack for the duration of run(); `active` (mutex-guarded)
+// counts workers still attached, so run() never returns — and the Job never
+// dies — while a worker could still touch it.
+struct WorkerPool::Job {
+  std::size_t count = 0;
+  std::uint64_t first_stream = 0;  ///< rng stream of task 0
+  const TaskFn* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t active = 0;  // guarded by WorkerPool::mu_
+};
+
+WorkerPool::WorkerPool(std::size_t num_threads, Rng base_rng)
+    : base_rng_(base_rng) {
+  if (num_threads == 0)
+    num_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.resize(num_threads);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::start(const Cnf& formula, std::vector<Var> projection,
+                       std::unique_ptr<IncrementalBsat> adopt) {
+  if (started()) return;
+  formula_ = &formula;
+  projection_ = std::move(projection);
+  workers_[0].engine = std::move(adopt);
+  threads_.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+void WorkerPool::worker_main(std::size_t worker_index) {
+  Worker& worker = workers_[worker_index];
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;  // null when the job already finished without us
+      if (job != nullptr) ++job->active;
+    }
+    if (job == nullptr) continue;
+    for (;;) {
+      const std::size_t k = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= job->count) break;
+      if (!worker.engine)
+        worker.engine =
+            std::make_unique<IncrementalBsat>(*formula_, projection_);
+      // All randomness of task k comes from its keyed stream — identical no
+      // matter which worker runs this.
+      Rng rng = base_rng_.fork_stream(job->first_stream + k);
+      (*job->fn)(*worker.engine, worker_index, k, rng);
+      ++worker.served;
+      job->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --job->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::run(std::size_t count, std::uint64_t first_stream,
+                     const TaskFn& fn) {
+  if (count == 0) return;
+  Job job;
+  job.count = count;
+  job.first_stream = first_stream;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job.done.load(std::memory_order_acquire) == job.count &&
+           job.active == 0;
+  });
+  // Cleared under the lock: a worker waking late sees job_ == nullptr and
+  // goes back to sleep instead of touching the dead job.
+  job_ = nullptr;
+}
+
+SolverStats WorkerPool::engine_stats(std::size_t w) const {
+  return workers_[w].engine ? workers_[w].engine->stats() : SolverStats{};
+}
+
+}  // namespace unigen

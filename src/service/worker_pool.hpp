@@ -1,0 +1,127 @@
+#pragma once
+// WorkerPool — the reusable fan-out substrate of the parallel services.
+//
+// Both parallel layers of this repository have the same shape: a one-time
+// phase fixes shared immutable state, then t independent work items (UniGen
+// samples, ApproxMC median iterations) run against one formula, and each
+// item's randomness must not depend on which thread serves it.  This class
+// is that shape, extracted from SamplerPool so the counting service
+// (counting/parallel_approxmc.cpp) does not re-implement it:
+//
+//   * N persistent worker threads, started once via start() and joined in
+//     the destructor.
+//   * One lazily-built IncrementalBsat per worker over a single shared
+//     immutable Cnf (the engine keeps a reference — no formula copies);
+//     a worker builds its engine on its first task and reuses it for the
+//     pool lifetime, so engine_stats(w).solver_rebuilds stays at 1 for
+//     every worker that ever served.  start() can hand worker 0 an engine
+//     the one-time phase already warmed up.
+//   * Work items are pulled from an atomic cursor, so load balances
+//     itself; run() is synchronous and returns only when every item is
+//     done and every worker has detached from the job, which is what makes
+//     the per-worker accessors race-free between calls.
+//   * Per-task keyed RNG: task k of a run with first_stream f draws all of
+//     its randomness from base_rng.fork_stream(f + k) — a pure function of
+//     (seed, f, k), independent of thread count and scheduling.  This is
+//     the pool half of the services' byte-identical-across-threads
+//     contract; the other half (canonical result ordering) is the
+//     callback's job.
+//
+// Threading contract: one dispatcher thread drives the pool (start / run /
+// the accessors are not reentrant); the fan-out inside run() is the pool's
+// own.  The callback runs concurrently on distinct tasks and must only
+// touch its own task's slot plus per-worker state indexed by the worker id
+// it is given.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "sat/incremental_bsat.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+
+class WorkerPool {
+ public:
+  /// One work item: `engine` is the serving worker's private persistent
+  /// solver, `worker` its index (for per-worker aggregation on the caller's
+  /// side), `task` the item index within the run, and `rng` the task's
+  /// keyed stream.
+  using TaskFn = std::function<void(IncrementalBsat& engine,
+                                    std::size_t worker, std::size_t task,
+                                    Rng& rng)>;
+
+  /// `num_threads` 0 = std::thread::hardware_concurrency() (min 1).  All
+  /// task streams fork from `base_rng`, which is never advanced.
+  WorkerPool(std::size_t num_threads, Rng base_rng);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Starts the worker threads over `formula` (which must outlive the
+  /// pool; engines reference it, they do not copy it).  `projection` is
+  /// the set cells are counted/blocked over.  Worker 0 adopts `adopt` when
+  /// given instead of building its own engine.  Idempotent: only the first
+  /// call starts anything.
+  void start(const Cnf& formula, std::vector<Var> projection,
+             std::unique_ptr<IncrementalBsat> adopt = nullptr);
+  bool started() const { return !threads_.empty(); }
+
+  /// Fans `count` tasks across the workers; task k runs
+  /// fn(engine, worker, k, base_rng.fork_stream(first_stream + k)).
+  /// Synchronous: on return every task ran and every worker quiesced.
+  /// Requires start().
+  void run(std::size_t count, std::uint64_t first_stream, const TaskFn& fn);
+
+  /// The keyed-stream primitive, exposed so the owning service can serve
+  /// inline fast paths (trivial mode) from the same stream space.
+  Rng fork_stream(std::uint64_t stream) const {
+    return base_rng_.fork_stream(stream);
+  }
+
+  std::size_t num_threads() const { return workers_.size(); }
+  /// Tasks served by worker `w` across all runs.
+  std::uint64_t tasks_served(std::size_t w) const {
+    return workers_[w].served;
+  }
+  bool engine_built(std::size_t w) const {
+    return workers_[w].engine != nullptr;
+  }
+  /// Engine counters of worker `w` (zero-valued when it never built one).
+  SolverStats engine_stats(std::size_t w) const;
+
+ private:
+  struct Job;
+  struct Worker {
+    /// Built lazily on the worker's first task (worker 0 may adopt the
+    /// engine the one-time phase warmed), then reused for the pool
+    /// lifetime.
+    std::unique_ptr<IncrementalBsat> engine;
+    std::uint64_t served = 0;
+  };
+
+  void worker_main(std::size_t worker_index);
+
+  /// Only fork_stream() (const) is ever used — the pool never advances it.
+  Rng base_rng_;
+  const Cnf* formula_ = nullptr;  // set by start(); caller guarantees lifetime
+  std::vector<Var> projection_;
+
+  std::vector<Worker> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;         // guarded by mu_
+  std::uint64_t job_seq_ = 0;  // guarded by mu_; bumped per submission
+  bool stop_ = false;          // guarded by mu_
+};
+
+}  // namespace unigen

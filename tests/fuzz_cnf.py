@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Randomized fuzz driver for the counting/sampling stack.
+
+Feeds random seeds to the `fuzz_cnf` oracle binary (tests/fuzz_cnf_main.cpp),
+which generates one deterministic random CNF per seed and differentially
+tests ExactCounter, the enumerator-over-S oracle, ApproxMC's (1+eps) band,
+simplify-on/off count safety, and serial-vs-parallel count equality.
+
+Every failure is reproducible from its seed alone:
+
+    tests/fuzz_cnf.py --repro 123456          # re-run one failing seed
+    build/fuzz_cnf 123456                     # same, without python
+
+Modes:
+    tests/fuzz_cnf.py                         # endless randomized fuzzing
+    tests/fuzz_cnf.py --runs 2000             # bounded randomized run
+    tests/fuzz_cnf.py --smoke                 # the fixed-seed smoke set
+                                              # (what the fuzz_smoke ctest runs)
+
+The binary is looked up in build/ next to this file's repo root; override
+with --binary.
+"""
+
+import argparse
+import pathlib
+import random
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BINARY = REPO_ROOT / "build" / "fuzz_cnf"
+
+# The fixed smoke set: first seeds of the randomized space, cheap enough to
+# stay well inside the 30-second ctest budget on one core.
+SMOKE_FIRST = 1
+SMOKE_COUNT = 25
+
+
+def run_batch(binary, seeds):
+    """Runs one batch of seeds; returns the failing seed or None."""
+    cmd = [str(binary)] + [str(s) for s in seeds]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 0:
+        return None
+    sys.stderr.write(proc.stderr)
+    # The binary stops at the first failing seed and names it; recover it
+    # for the repro line even if stderr parsing fails.
+    for line in proc.stderr.splitlines():
+        if "FUZZ FAILURE at seed" in line:
+            return int(line.split("seed")[1].split(":")[0].strip())
+    return seeds[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", type=pathlib.Path, default=DEFAULT_BINARY)
+    parser.add_argument("--runs", type=int, default=0,
+                        help="total seeds to try (0 = run until interrupted)")
+    parser.add_argument("--batch", type=int, default=20,
+                        help="seeds per binary invocation")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="base for the seed sequence (default: entropy)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the fixed smoke seed set and exit")
+    parser.add_argument("--repro", type=int, default=None, metavar="SEED",
+                        help="re-run one seed and exit")
+    args = parser.parse_args()
+
+    if not args.binary.exists():
+        sys.exit(f"fuzz binary not found at {args.binary}; build the repo "
+                 f"first (cmake --build build) or pass --binary")
+
+    if args.repro is not None:
+        failed = run_batch(args.binary, [args.repro])
+        if failed is None:
+            print(f"seed {args.repro} passes")
+            return
+        sys.exit(1)
+
+    if args.smoke:
+        failed = run_batch(args.binary,
+                           range(SMOKE_FIRST, SMOKE_FIRST + SMOKE_COUNT))
+        if failed is not None:
+            sys.exit(f"smoke set failed at seed {failed}; "
+                     f"repro: {args.binary} {failed}")
+        print(f"fuzz smoke: {SMOKE_COUNT} seeds passed")
+        return
+
+    rng = random.Random(args.seed)
+    tried = 0
+    started = time.time()
+    while args.runs <= 0 or tried < args.runs:
+        batch = [rng.randrange(2**63) for _ in range(args.batch)]
+        if args.runs > 0:
+            batch = batch[: args.runs - tried]
+        failed = run_batch(args.binary, batch)
+        if failed is not None:
+            sys.exit(f"\nfuzz failure at seed {failed}\n"
+                     f"repro: {args.binary} {failed}\n"
+                     f"       tests/fuzz_cnf.py --repro {failed}")
+        tried += len(batch)
+        rate = tried / max(time.time() - started, 1e-9)
+        print(f"\r{tried} seeds passed ({rate:.1f}/s)", end="", flush=True)
+    print()
+
+
+if __name__ == "__main__":
+    main()

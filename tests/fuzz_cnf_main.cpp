@@ -1,0 +1,194 @@
+// fuzz_cnf — randomized differential-testing driver (the oracle half of
+// tests/fuzz_cnf.py, and the fixed-seed `fuzz_smoke` ctest).
+//
+// One seed = one deterministic fuzz case (tests/helpers.hpp:
+// make_fuzz_case): a small random CNF, sometimes with XOR rows, sometimes
+// with a random sampling set S.  Per case the driver cross-checks the
+// stack's independent implementations against brute force and against each
+// other:
+//
+//   1. ExactCounter (DPLL# with components/caching) vs. brute-force model
+//      enumeration over the full support;
+//   2. projected enumeration over S (count_projected_by_enumeration, the
+//      blocking-clause oracle) vs. the brute-forced projection count;
+//   3. ApproxMC: exact-mode results equal the truth; hashed estimates land
+//      within the (1+ε) band (widened by the empirical slack the unit
+//      suite uses, so a pass is deterministic per seed);
+//   4. simplify-on vs. simplify-off ApproxMC byte-equality (count safety);
+//   5. serial vs. parallel (2-thread) ApproxMC byte-equality (the
+//      scheduling-independence contract).
+//
+// Exit code 0 when every seed passes; on the first failure it prints a
+// one-line repro (`fuzz_cnf <seed>` / `fuzz_cnf.py --repro <seed>`) plus
+// the DIMACS-ish summary of the offending case and exits 1.
+//
+// Usage: fuzz_cnf <seed> [<seed> ...]
+//        fuzz_cnf --range <first> <count>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "counting/approxmc.hpp"
+#include "counting/exact_counter.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using namespace unigen;
+
+/// Widened acceptance band for hashed estimates, matching the unit suite
+/// (test_approxmc.cpp): tolerance log2(1+ε) plus slack so that the
+/// per-seed check stays deterministic at δ = 0.05.
+constexpr double kLog2Band = 0.84799690655495  /* log2(1.8) */ + 0.6;
+
+struct Failure {
+  std::string what;
+};
+
+#define FUZZ_CHECK(cond, ...)                                   \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      char buf_[256];                                           \
+      std::snprintf(buf_, sizeof buf_, __VA_ARGS__);            \
+      return Failure{buf_};                                     \
+    }                                                           \
+  } while (0)
+
+std::optional<Failure> run_seed(std::uint64_t seed) {
+  const test::FuzzCase fc = test::make_fuzz_case(seed);
+  const Cnf& cnf = fc.cnf;
+  const std::vector<Var>& s = fc.sampling_set;
+
+  // Ground truth by brute force (the generator keeps n <= 12).
+  const std::uint64_t truth_total = test::brute_force_count(cnf);
+  const std::uint64_t truth_projected =
+      test::brute_force_projected_count(cnf, s);
+
+  // 1. ExactCounter vs. brute force over the full support.
+  ExactCounter exact;
+  const auto ec = exact.count(cnf);
+  FUZZ_CHECK(ec.has_value(), "ExactCounter timed out on a %d-var formula",
+             cnf.num_vars());
+  FUZZ_CHECK(*ec == BigUint(truth_total),
+             "ExactCounter=%s but brute force=%" PRIu64,
+             ec->to_string().c_str(), truth_total);
+
+  // 2. Enumerator-over-S oracle vs. the brute-forced projection.
+  const auto en = count_projected_by_enumeration(cnf, s, truth_projected + 8);
+  FUZZ_CHECK(en.has_value(), "projected enumeration hit its bound");
+  FUZZ_CHECK(*en == truth_projected,
+             "enumerator-over-S=%" PRIu64 " but brute force=%" PRIu64, *en,
+             truth_projected);
+
+  // 3. ApproxMC within the (1+ε) band (exact-mode results must be equal).
+  ApproxMcOptions amc;
+  amc.epsilon = 0.8;
+  amc.delta = 0.05;
+  Rng amc_rng(seed ^ 0x5eedbeef);
+  const ApproxMcResult approx = approx_count(cnf, amc, amc_rng);
+  if (truth_projected == 0) {
+    FUZZ_CHECK(approx.valid && approx.exact && approx.cell_count == 0,
+               "ApproxMC did not report exact 0 on an unsat case");
+  } else {
+    FUZZ_CHECK(approx.valid, "ApproxMC produced no estimate");
+    if (approx.exact) {
+      FUZZ_CHECK(approx.cell_count == truth_projected,
+                 "ApproxMC exact=%" PRIu64 " but truth=%" PRIu64,
+                 approx.cell_count, truth_projected);
+    } else {
+      const double err =
+          std::abs(approx.log2_value() -
+                   std::log2(static_cast<double>(truth_projected)));
+      FUZZ_CHECK(err <= kLog2Band,
+                 "ApproxMC log2=%.3f truth log2=%.3f (err %.3f > band %.3f)",
+                 approx.log2_value(),
+                 std::log2(static_cast<double>(truth_projected)), err,
+                 kLog2Band);
+    }
+  }
+
+  // 4. Count safety: simplification must not change the reported count.
+  {
+    ApproxMcOptions off = amc;
+    off.simplify.enabled = false;
+    Rng rng_on(seed + 1), rng_off(seed + 1);
+    const ApproxMcResult a = approx_count(cnf, amc, rng_on);
+    const ApproxMcResult b = approx_count(cnf, off, rng_off);
+    FUZZ_CHECK(a.valid == b.valid && a.exact == b.exact &&
+                   a.cell_count == b.cell_count &&
+                   a.hash_count == b.hash_count,
+               "simplify on/off mismatch: on=(%d,%d,%" PRIu64 ",%u) "
+               "off=(%d,%d,%" PRIu64 ",%u)",
+               a.valid, a.exact, a.cell_count, a.hash_count, b.valid,
+               b.exact, b.cell_count, b.hash_count);
+  }
+
+  // 5. Scheduling independence: serial and parallel counts byte-identical.
+  {
+    ApproxMcOptions par = amc;
+    par.num_threads = 2;
+    Rng rng_ser(seed + 2), rng_par(seed + 2);
+    const ApproxMcResult a = approx_count(cnf, amc, rng_ser);
+    const ApproxMcResult b = approx_count(cnf, par, rng_par);
+    FUZZ_CHECK(a.valid == b.valid && a.exact == b.exact &&
+                   a.cell_count == b.cell_count &&
+                   a.hash_count == b.hash_count,
+               "serial/parallel mismatch: serial=(%d,%d,%" PRIu64 ",%u) "
+               "parallel=(%d,%d,%" PRIu64 ",%u)",
+               a.valid, a.exact, a.cell_count, a.hash_count, b.valid,
+               b.exact, b.cell_count, b.hash_count);
+  }
+
+  return std::nullopt;
+}
+
+void describe_case(std::uint64_t seed) {
+  const test::FuzzCase fc = test::make_fuzz_case(seed);
+  std::fprintf(stderr, "  case: %d vars, %zu clauses, %zu xors, |S|=%zu\n",
+               fc.cnf.num_vars(), fc.cnf.num_clauses(), fc.cnf.num_xors(),
+               fc.sampling_set.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> seeds;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--range") == 0 && i + 2 < argc) {
+      const std::uint64_t first = std::strtoull(argv[i + 1], nullptr, 10);
+      const std::uint64_t count = std::strtoull(argv[i + 2], nullptr, 10);
+      for (std::uint64_t s = first; s < first + count; ++s)
+        seeds.push_back(s);
+      i += 2;
+    } else {
+      seeds.push_back(std::strtoull(argv[i], nullptr, 10));
+    }
+  }
+  if (seeds.empty()) {
+    std::fprintf(stderr,
+                 "usage: fuzz_cnf <seed> [<seed> ...] | "
+                 "fuzz_cnf --range <first> <count>\n");
+    return 2;
+  }
+
+  for (const std::uint64_t seed : seeds) {
+    const auto failure = run_seed(seed);
+    if (failure) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE at seed %" PRIu64 ": %s\n"
+                   "  repro: fuzz_cnf %" PRIu64 "   (or: tests/fuzz_cnf.py "
+                   "--repro %" PRIu64 ")\n",
+                   seed, failure->what.c_str(), seed, seed);
+      describe_case(seed);
+      return 1;
+    }
+  }
+  std::printf("fuzz_cnf: %zu seed(s) passed\n", seeds.size());
+  return 0;
+}

@@ -76,4 +76,50 @@ inline Cnf random_cnf_xor(Var n, std::size_t c, std::size_t k, std::size_t x,
   return cnf;
 }
 
+/// Random sampling set S: a uniformly drawn nonempty subset of at most
+/// `max_size` variables, attached to `cnf` and returned (sorted, distinct).
+/// Shared by the fuzz harness and the projected-counting property tests.
+inline std::vector<Var> attach_random_sampling_set(Cnf& cnf,
+                                                   std::size_t max_size,
+                                                   Rng& rng) {
+  std::vector<Var> all(static_cast<std::size_t>(cnf.num_vars()));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<Var>(i);
+  rng.shuffle(all);
+  const std::size_t take = 1 + static_cast<std::size_t>(rng.below(
+                                   std::min<std::uint64_t>(max_size,
+                                                           all.size())));
+  all.resize(take);
+  std::sort(all.begin(), all.end());
+  cnf.set_sampling_set(all);
+  return all;
+}
+
+/// One randomly drawn fuzz instance: a small CNF (sometimes with XOR rows,
+/// sometimes with a random sampling set) whose full and projected model
+/// sets stay brute-forceable.  Deterministic in `seed` — the repro line a
+/// failing fuzz run prints is just this seed.
+struct FuzzCase {
+  Cnf cnf;
+  std::vector<Var> sampling_set;  ///< == cnf.sampling_set_or_all()
+};
+
+inline FuzzCase make_fuzz_case(std::uint64_t seed) {
+  Rng rng(seed);
+  const Var n = static_cast<Var>(5 + rng.below(8));          // 5..12 vars
+  const std::size_t c = 2 + static_cast<std::size_t>(rng.below(
+                                2 * static_cast<std::uint64_t>(n)));
+  const std::size_t k = 2 + static_cast<std::size_t>(rng.below(3));
+  FuzzCase fc;
+  if (rng.flip(0.25)) {
+    const std::size_t x = 1 + static_cast<std::size_t>(rng.below(3));
+    fc.cnf = random_cnf_xor(n, c, k, x, rng);
+  } else {
+    fc.cnf = random_cnf(n, c, k, rng);
+  }
+  if (rng.flip(0.5))
+    attach_random_sampling_set(fc.cnf, static_cast<std::size_t>(n), rng);
+  fc.sampling_set = fc.cnf.sampling_set_or_all();
+  return fc;
+}
+
 }  // namespace unigen::test

@@ -67,6 +67,32 @@ TEST(Uniformity, HashedPathChiSquareRegression) {
   EXPECT_EQ(histogram.size(), truth.size());
 }
 
+TEST(Uniformity, ParallelPrepareChiSquareRegression) {
+  // Seed-fixed regression with the *whole* pipeline parallel: prepare()'s
+  // ApproxMC call fans across the pool width (counter_threads resolves to
+  // it) and sampling fans across the workers.  A q shifted by a counting
+  // regression shows up here as an inflated chi-square statistic.
+  const Cnf cnf = chi_square_formula();
+  const auto truth = test::brute_force_models(cnf);
+  SamplerPoolOptions opts;
+  opts.num_threads = 4;
+  opts.seed = 20140603;
+  SamplerPool pool(cnf, opts);
+  ASSERT_TRUE(pool.prepare());
+  ASSERT_EQ(pool.prepared().mode, UniGenPrepared::Mode::kHashed);
+  EXPECT_GE(pool.stats().prepare.counter_solver_rebuilds, 1u);
+  std::map<Model, int> histogram;
+  int ok = 0;
+  for (const auto& r : pool.sample_many(6000)) {
+    if (!r.ok()) continue;
+    ++ok;
+    ++histogram[r.witness];
+  }
+  ASSERT_GT(ok, 3000);
+  EXPECT_LT(chi_square_per_df(histogram, truth, ok), 1.5);
+  EXPECT_EQ(histogram.size(), truth.size());
+}
+
 TEST(Uniformity, ParallelServiceChiSquareMatchesSingleEngine) {
   // The pool's per-thread engines and keyed RNG streams must not skew the
   // distribution: same chi-square criterion, sampled through the service.
