@@ -1,0 +1,224 @@
+// bench_anytime — what a budget fraction buys on the Table-1 suite, and
+// what cancellation costs.
+//
+// Counting: per instance, a deterministic-unit reference run fixes the
+// instance's true unit cost (its total BSAT-probe count); the anytime
+// entry point is then re-run at fractions of that grant.  Per fraction
+// the bench reports how often a usable estimate exists at all (valid
+// rate), the δ the surviving iterations actually achieve (the honesty
+// label a Partial result carries), and the estimate's drift from the
+// full-budget run (mean |Δlog2|).  The anytime contract itself is
+// checked inline: at the half grant, cut + resume(remainder) must be
+// byte-identical to the uninterrupted run — a violation fails the bench.
+//
+// Cancellation: a SamplerPool serves a deliberately oversized request on
+// a second thread; the main thread trips the CancelToken mid-epoch and
+// measures cancel→pool-idle (the `_within` call returning with every
+// slot stamped).  Solvers poll the token between conflict batches, so
+// the latency bound is a few solver probes, not a pool teardown.
+//
+// Deterministic-unit runs forgo the leapfrog hint (cold starts are what
+// make the unit cost stream-pure), so a full pass here is several times
+// the cost of bench_parallel_count's warm passes.  The default δ is
+// therefore 0.2 (3 median iterations) rather than the 0.05 the other
+// counting benches use: the anytime curve needs a fraction sweep per
+// instance, and the squaring rows do not shrink below scale 0.5.
+//
+// Env knobs: UNIGEN_BENCH_SCALE     instance scale    (default 0.05)
+//            UNIGEN_COUNT_EPSILON   counter tolerance (default 0.8)
+//            UNIGEN_COUNT_DELTA     counter 1-confid. (default 0.2)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "counting/approxmc.hpp"
+#include "service/sampler_pool.hpp"
+#include "util/timer.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace unigen;
+
+constexpr std::uint64_t kSeed = 0xDAC14A;
+constexpr std::uint64_t kUnlimitedUnits = 1ull << 40;
+
+struct FractionTotals {
+  double fraction = 0.0;
+  std::size_t runs = 0;
+  std::size_t valid = 0;       ///< runs with a usable (Partial/Complete) estimate
+  double delta_sum = 0.0;      ///< Σ achieved-δ over valid runs
+  double log2_err_sum = 0.0;   ///< Σ |log2 est − log2 full| over valid runs
+};
+
+bool identical(const ApproxMcAnytime& a, const ApproxMcAnytime& b) {
+  return a.status == b.status && a.result.valid == b.result.valid &&
+         a.result.cell_count == b.result.cell_count &&
+         a.result.hash_count == b.result.hash_count &&
+         a.result.bsat_calls == b.result.bsat_calls &&
+         a.result.iterations_succeeded == b.result.iterations_succeeded &&
+         a.achieved_delta == b.achieved_delta;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = workloads::bench_scale_from_env(0.05);
+  ApproxMcOptions base;
+  base.epsilon = bench::env_double("UNIGEN_COUNT_EPSILON", 0.8);
+  base.delta = bench::env_double("UNIGEN_COUNT_DELTA", 0.2);
+  const auto suite = workloads::make_table1_suite(scale);
+
+  std::printf(
+      "anytime counting — Table-1 suite (scale=%.2f, %zu instances), "
+      "eps=%.2f delta=%.2f (%d median iterations)\n\n",
+      scale, suite.size(), base.epsilon, base.delta,
+      approxmc_iteration_count(base.delta));
+
+  const double fractions[] = {0.25, 0.5, 0.75, 1.0};
+  std::vector<FractionTotals> totals;
+  for (const double f : fractions) {
+    FractionTotals t;
+    t.fraction = f;
+    totals.push_back(t);
+  }
+  bool resume_identical = true;
+
+  for (const auto& instance : suite) {
+    // Reference: the uninterrupted deterministic run and its unit cost.
+    ApproxMcOptions opts = base;
+    opts.budget.max_bsat_calls = kUnlimitedUnits;
+    Rng ref_rng(kSeed);
+    const Stopwatch ref_watch;
+    const ApproxMcAnytime full =
+        approx_count_anytime(instance.cnf, opts, ref_rng);
+    const std::uint64_t total_units = full.result.bsat_calls;
+    std::fprintf(stderr, "  %-24s reference: %s, %llu units, %.1f s\n",
+                 instance.name.c_str(), to_string(full.status),
+                 static_cast<unsigned long long>(total_units),
+                 ref_watch.seconds());
+    std::fflush(stderr);
+    if (!full.result.valid || total_units == 0) continue;
+
+    for (FractionTotals& t : totals) {
+      const std::uint64_t grant = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(t.fraction *
+                                        static_cast<double>(total_units)));
+      // The full grant reproduces the reference run byte-for-byte (that is
+      // the determinism contract) — reuse it instead of re-running.
+      ApproxMcAnytime rerun;
+      if (grant >= total_units) {
+        rerun = full;
+      } else {
+        ApproxMcOptions cut_opts = base;
+        cut_opts.budget.max_bsat_calls = grant;
+        Rng rng(kSeed);
+        rerun = approx_count_anytime(instance.cnf, cut_opts, rng);
+      }
+      const ApproxMcAnytime& cut = rerun;
+      ++t.runs;
+      if (cut.result.valid) {
+        ++t.valid;
+        t.delta_sum += cut.achieved_delta;
+        t.log2_err_sum +=
+            std::abs(cut.result.log2_value() - full.result.log2_value());
+      }
+      // Contract check at the half grant: resume(remainder) == full.
+      if (t.fraction == 0.5 && grant < total_units) {
+        Budget more;
+        more.max_bsat_calls = total_units - grant;
+        const ApproxMcAnytime resumed =
+            approx_count_resume(instance.cnf, cut.state, more);
+        if (!identical(resumed, full)) resume_identical = false;
+      }
+    }
+  }
+
+  std::printf("%10s %8s %12s %12s\n", "fraction", "valid", "achieved-d",
+              "|dlog2|");
+  for (const FractionTotals& t : totals) {
+    const double n = t.valid ? static_cast<double>(t.valid) : 1.0;
+    std::printf("%9.0f%% %7.0f%% %12.4f %12.3f\n", 100.0 * t.fraction,
+                t.runs ? 100.0 * static_cast<double>(t.valid) /
+                             static_cast<double>(t.runs)
+                       : 0.0,
+                t.delta_sum / n, t.log2_err_sum / n);
+  }
+  std::printf("\ncut@50%% + resume byte-identical to uninterrupted: %s\n",
+              resume_identical ? "yes" : "NO — anytime contract violated");
+
+  // --- cancel latency: token trip -> pool idle -------------------------
+  // An oversized request keeps the epoch busy past the trip point; the
+  // serving thread stamps its own end time the moment the call returns
+  // with every slot resolved.
+  using Clock = std::chrono::steady_clock;
+  double cancel_latency_s = 0.0;
+  bool cancel_observed = false;
+  const int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SamplerPoolOptions popts;
+    popts.num_threads = 2;
+    popts.seed = kSeed + static_cast<std::uint64_t>(rep);
+    SamplerPool pool(suite.front().cnf, popts);
+    if (!pool.prepare()) break;
+    CancelToken token;
+    Budget budget;
+    budget.cancel = &token;
+    RequestStatus status = RequestStatus::kComplete;
+    Clock::time_point end;
+    std::thread server([&] {
+      const SampleManyResult r = pool.sample_many_within(4096, budget);
+      end = Clock::now();
+      status = r.status;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const Clock::time_point t0 = Clock::now();
+    token.cancel();
+    server.join();
+    if (status == RequestStatus::kCancelled) {
+      cancel_observed = true;
+      cancel_latency_s =
+          std::max(cancel_latency_s,
+                   std::chrono::duration<double>(end - t0).count());
+    }
+  }
+  if (cancel_observed) {
+    std::printf("cancel -> pool idle (max of %d reps): %.1f ms\n", kReps,
+                1e3 * cancel_latency_s);
+  } else {
+    std::printf(
+        "cancel -> pool idle: request finished before the trip "
+        "(instance too small at this scale)\n");
+  }
+
+  bench::BenchJson json;
+  json.add("bench", "anytime");
+  json.add("suite", "table1");
+  json.add("scale", scale);
+  json.add("instances", static_cast<std::uint64_t>(suite.size()));
+  for (const FractionTotals& t : totals) {
+    char key[64];
+    const int pct = static_cast<int>(100.0 * t.fraction);
+    const double n = t.valid ? static_cast<double>(t.valid) : 1.0;
+    std::snprintf(key, sizeof key, "valid_rate_budget_%d", pct);
+    json.add(key, t.runs ? static_cast<double>(t.valid) /
+                               static_cast<double>(t.runs)
+                         : 0.0);
+    std::snprintf(key, sizeof key, "achieved_delta_budget_%d", pct);
+    json.add(key, t.delta_sum / n);
+    std::snprintf(key, sizeof key, "log2_err_budget_%d", pct);
+    json.add(key, t.log2_err_sum / n);
+  }
+  json.add("resume_identical",
+           static_cast<std::uint64_t>(resume_identical ? 1 : 0));
+  json.add("cancel_observed",
+           static_cast<std::uint64_t>(cancel_observed ? 1 : 0));
+  json.add("cancel_to_idle_s", cancel_latency_s);
+  json.write("BENCH_anytime.json");
+  return resume_identical ? 0 : 1;
+}

@@ -77,7 +77,7 @@ int main() {
   base.delta = bench::env_double("UNIGEN_COUNT_DELTA", 0.05);
   // 0 = no per-probe timeout (see header: the determinism gate requires
   // it; env_double treats the knob as unset unless positive).
-  base.bsat_timeout_s = bench::env_double("UNIGEN_BSAT_TIMEOUT_S", 0.0);
+  base.budget.bsat_timeout_s = bench::env_double("UNIGEN_BSAT_TIMEOUT_S", 0.0);
   const double budget_s =
       bench::env_double("UNIGEN_PREPARE_TIMEOUT_S", 1200.0);
 
@@ -99,7 +99,7 @@ int main() {
     for (const auto& instance : suite) {
       ApproxMcOptions opts = base;
       opts.num_threads = threads;
-      opts.deadline = Deadline::in_seconds(budget_s);
+      opts.budget.deadline = Deadline::in_seconds(budget_s);
       Rng rng(kSeed);  // same seed per instance across thread counts
       const Stopwatch watch;
       ApproxMcResult r = approx_count(instance.cnf, opts, rng);

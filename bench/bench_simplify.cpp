@@ -58,8 +58,8 @@ int main() {
       const Stopwatch watch;
       {
         ApproxMcOptions amc;
-        amc.bsat_timeout_s = bsat_timeout_s;
-        amc.deadline = Deadline::in_seconds(count_budget_s);
+        amc.budget.bsat_timeout_s = bsat_timeout_s;
+        amc.budget.deadline = Deadline::in_seconds(count_budget_s);
         amc.simplify.enabled = simplify_on;
         Rng rng(20140001);
         leg.count = approx_count(instance.cnf, amc, rng);

@@ -12,10 +12,11 @@ namespace unigen {
 
 struct SampleResult {
   enum class Status {
-    kOk,       ///< `witness` holds a satisfying assignment
-    kFail,     ///< the generator returned ⊥ (allowed; bounded probability)
-    kTimeout,  ///< a resource budget expired
-    kUnsat,    ///< the formula has no witnesses
+    kOk,         ///< `witness` holds a satisfying assignment
+    kFail,       ///< the generator returned ⊥ (allowed; bounded probability)
+    kTimeout,    ///< a resource budget expired
+    kUnsat,      ///< the formula has no witnesses
+    kCancelled,  ///< the caller's cancellation token fired
   };
   Status status = Status::kFail;
   Model witness;
@@ -26,6 +27,11 @@ struct SampleResult {
   static SampleResult timeout() {
     SampleResult r;
     r.status = Status::kTimeout;
+    return r;
+  }
+  static SampleResult cancelled() {
+    SampleResult r;
+    r.status = Status::kCancelled;
     return r;
   }
   static SampleResult unsat() {

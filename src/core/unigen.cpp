@@ -38,7 +38,13 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
     const UniGenOptions& options, Rng& rng, UniGenPrepared& prep,
     UniGenStats& stats) {
   const Stopwatch watch;
-  const Deadline deadline = Deadline::in_seconds(options.prepare_timeout_s);
+  // prepare_timeout_s, tightened by the caller's overall anytime deadline
+  // when that one is nearer.
+  Deadline deadline = Deadline::in_seconds(options.prepare_timeout_s);
+  if (options.budget.deadline.armed() &&
+      options.budget.deadline.remaining_seconds() <
+          deadline.remaining_seconds())
+    deadline = options.budget.deadline;
 
   // Lines 1–3: thresholds.
   prep.kp = compute_kappa_pivot(options.epsilon);
@@ -77,11 +83,19 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   // unblocked formula plus whatever the solver learnt here.
   auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
   {
+    // The caller's cancellation token rides along with the (already
+    // combined) deadline, so a service-level cut interrupts the one-time
+    // phase too.
+    ProbeLimits limits;
+    limits.deadline = deadline;
+    limits.cancel = options.budget.cancel != nullptr
+                        ? options.budget.cancel->flag()
+                        : nullptr;
     EnumerateResult r =
-        engine->enumerate_cell(0, prep.kp.hi_thresh + 1, deadline, true);
+        engine->enumerate_cell(0, prep.kp.hi_thresh + 1, limits, true);
     ++stats.prepare_bsat_calls;
     sync_engine_stats(*engine, stats);
-    if (r.timed_out) {
+    if (r.timed_out || r.cancelled) {
       prep.mode = UniGenPrepared::Mode::kTimedOut;
       stats.prepare_seconds = watch.seconds();
       return nullptr;
@@ -113,8 +127,13 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   ApproxMcOptions amc;
   amc.epsilon = options.counter_epsilon;
   amc.delta = 1.0 - options.counter_confidence;
-  amc.deadline = deadline;
-  amc.bsat_timeout_s = options.bsat_timeout_s;
+  amc.budget.deadline = deadline;
+  amc.budget.bsat_timeout_s = options.bsat_timeout_s;
+  // Cancellation reaches the nested count; the deterministic per-request
+  // knobs (max_bsat_calls, fault) deliberately do not — they are scoped to
+  // sampling requests, and a fault plan keyed by request streams must not
+  // also fire inside prepare's iteration-keyed count.
+  amc.budget.cancel = options.budget.cancel;
   // 0 = "embedding decides"; for a caller that did not wire a pool through
   // (plain UniGen), that is the serial in-place path.  SamplerPool::prepare
   // resolves 0 to its own width before calling here.
@@ -141,24 +160,40 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   return engine;
 }
 
-std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
-                                      const std::vector<Var>& sampling_set,
-                                      const UniGenPrepared& prep,
-                                      const UniGenOptions& options,
-                                      Var formula_vars, Rng& rng,
-                                      UniGenStats& stats, bool& timed_out) {
+AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
+                                    const std::vector<Var>& sampling_set,
+                                    const UniGenPrepared& prep,
+                                    const UniGenOptions& options,
+                                    Var formula_vars, Rng& rng,
+                                    UniGenStats& stats,
+                                    std::uint64_t fault_key) {
   // Lines 12–17.  i ranges over {q-3, ..., q}, clamped to valid hash sizes.
-  timed_out = false;
-  const Deadline deadline = Deadline::in_seconds(options.sample_timeout_s);
+  AcceptCellResult out;
+  const Budget& budget = options.budget;
+  // Per-request wall deadline: sample_timeout_s tightened by the overall
+  // anytime deadline when that one is nearer.
+  Deadline deadline = Deadline::in_seconds(options.sample_timeout_s);
+  if (budget.deadline.armed() &&
+      budget.deadline.remaining_seconds() < deadline.remaining_seconds())
+    deadline = budget.deadline;
   const int n = static_cast<int>(sampling_set.size());
   const int i_last = std::clamp(prep.q, 1, n);
   const int i_first = std::clamp(prep.q - 3, 1, i_last);
+  // Per-request probe ordinal: the deterministic-unit ledger and the fault
+  // plan's call index in one.  Counting probes (not attempts) keeps the
+  // ordinal a pure function of the request's stream.
+  std::uint64_t calls = 0;
 
   for (int i = i_first; i <= i_last; ++i) {
     for (;;) {  // BSAT-timeout retry loop: repeat lines 14-16 with same i
-      if (deadline.expired()) {
-        timed_out = true;
-        return {};
+      if (budget.cancelled()) {
+        out.status = RequestStatus::kCancelled;
+        return out;
+      }
+      if (deadline.expired() ||
+          (budget.max_bsat_calls != 0 && calls >= budget.max_bsat_calls)) {
+        out.status = RequestStatus::kTimedOut;
+        return out;
       }
 
       // Lines 14–15: random h from H_xor(|S|, i, 3), random α.
@@ -168,20 +203,38 @@ std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
       stats.total_xor_row_length +=
           hash.average_row_length() * static_cast<double>(hash.m());
 
+      // A scheduled fault is a probe that "ran" and returned Undef: it
+      // charges a unit and drives the same Section-5 retry (same i, fresh
+      // hash) a real timeout would, deterministically.
+      if (budget.fault_fires(fault_key, calls)) {
+        ++calls;
+        ++stats.sample_bsat_calls;
+        ++stats.bsat_timeout_retries;
+        continue;
+      }
+
       // Line 16: Y <- BSAT(F ∧ (h = α), hiThresh), on the persistent
       // engine: the rows go in absorber-activated (the previous attempt's
       // rows become inert), so no CNF copy and no solver rebuild happens —
       // and everything learnt in earlier samples keeps working for us.
       engine.begin_hash();
       engine.push_rows(hash);
-      const double budget = std::min(options.bsat_timeout_s,
-                                     deadline.remaining_seconds());
+      ProbeLimits limits;
+      limits.deadline = Deadline::in_seconds(std::min(
+          options.bsat_timeout_s, deadline.remaining_seconds()));
+      limits.conflict_budget = budget.conflicts_per_call;
+      limits.cancel = budget.cancel != nullptr ? budget.cancel->flag()
+                                               : nullptr;
       EnumerateResult r = engine.enumerate_cell(
-          static_cast<std::size_t>(i), prep.kp.hi_thresh + 1,
-          Deadline::in_seconds(budget), true);
+          static_cast<std::size_t>(i), prep.kp.hi_thresh + 1, limits, true);
+      ++calls;
       ++stats.sample_bsat_calls;
       sync_engine_stats(engine, stats);
 
+      if (r.cancelled) {
+        out.status = RequestStatus::kCancelled;
+        return out;
+      }
       if (r.timed_out) {
         ++stats.bsat_timeout_retries;
         continue;  // same i, fresh hash (paper Section 5)
@@ -198,12 +251,15 @@ std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
         // Canonical order (see the header contract): the index a caller's
         // RNG then draws selects the same witness on every replica.
         std::sort(cell.begin(), cell.end(), model_lex_less);
-        return cell;
+        out.status = RequestStatus::kComplete;
+        out.cell = std::move(cell);
+        return out;
       }
       break;  // cell out of range: next i
     }
   }
-  return {};  // line 19: ⊥
+  out.status = RequestStatus::kFailed;  // line 19: ⊥
+  return out;
 }
 
 Model unigen_trivial_single(const UniGenPrepared& prep, Rng& rng) {
@@ -271,25 +327,39 @@ SampleResult UniGen::sample() {
     case SampleResult::Status::kTimeout:
       ++stats_.samples_timed_out;
       break;
+    case SampleResult::Status::kCancelled:
+      ++stats_.samples_cancelled;
+      break;
     case SampleResult::Status::kUnsat:
       break;
   }
   return result;
 }
 
-std::vector<Model> UniGen::accept_cell(bool& timed_out) {
+AcceptCellResult UniGen::accept_cell() {
+  // Fault plans see request ordinals: the k-th hashed request of this
+  // instance reports as key k-1 (requested was already bumped), matching
+  // the pool's stream-keyed convention.
   return unigen_accept_cell(*engine_, sampling_set_, prep_, options_,
-                            cnf_.num_vars(), rng_, stats_, timed_out);
+                            cnf_.num_vars(), rng_, stats_,
+                            stats_.samples_requested - 1);
 }
 
 SampleResult UniGen::sample_hashed() {
-  bool timed_out = false;
-  std::vector<Model> cell = accept_cell(timed_out);
-  if (timed_out) return SampleResult::timeout();
-  if (cell.empty()) return SampleResult::failure();
-  // Lines 21–22: uniform element of the cell.
-  const auto j = rng_.below(cell.size());
-  return SampleResult::success(std::move(cell[j]));
+  AcceptCellResult r = accept_cell();
+  switch (r.status) {
+    case RequestStatus::kCancelled:
+      return SampleResult::cancelled();
+    case RequestStatus::kTimedOut:
+      return SampleResult::timeout();
+    case RequestStatus::kComplete: {
+      // Lines 21–22: uniform element of the cell.
+      const auto j = rng_.below(r.cell.size());
+      return SampleResult::success(std::move(r.cell[j]));
+    }
+    default:
+      return SampleResult::failure();  // ⊥
+  }
 }
 
 std::vector<Model> UniGen::sample_batch(std::size_t max_batch) {
@@ -315,19 +385,22 @@ std::vector<Model> UniGen::sample_batch(std::size_t max_batch) {
       ++stats_.samples_ok;
       break;
     case UniGenPrepared::Mode::kHashed: {
-      bool timed_out = false;
-      std::vector<Model> cell = accept_cell(timed_out);
-      if (timed_out) {
+      AcceptCellResult r = accept_cell();
+      if (r.status == RequestStatus::kCancelled) {
+        ++stats_.samples_cancelled;
+        break;
+      }
+      if (r.status == RequestStatus::kTimedOut) {
         ++stats_.samples_timed_out;
         break;
       }
-      if (cell.empty()) {
+      if (!r.ok()) {
         ++stats_.samples_failed;  // ⊥, distinct from a timeout
         break;
       }
-      rng_.shuffle(cell);
-      if (cell.size() > max_batch) cell.resize(max_batch);
-      batch = std::move(cell);
+      rng_.shuffle(r.cell);
+      if (r.cell.size() > max_batch) r.cell.resize(max_batch);
+      batch = std::move(r.cell);
       ++stats_.samples_ok;
       break;
     }

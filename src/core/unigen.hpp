@@ -30,6 +30,7 @@
 #include "core/sampler.hpp"
 #include "counting/approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
+#include "service/budget.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +62,24 @@ struct UniGenOptions {
   /// that fires mid-count is schedule-dependent and can shift the median
   /// (ApproxMcOptions::num_threads documents the same caveat).
   std::size_t counter_threads = 0;
+  /// Anytime/robustness controls, scoped *per request* (one accept_cell
+  /// run), except for `deadline` and `cancel` which are shared seams the
+  /// embedding arms per service call:
+  ///   * budget.max_bsat_calls — deterministic cap on BSAT probes within
+  ///     one request; it bounds the otherwise-unbounded fresh-hash retry
+  ///     loop machine-independently (expiry reports kTimedOut).
+  ///   * budget.conflicts_per_call — deterministic per-probe conflict cap,
+  ///     threaded into every solver call.
+  ///   * budget.cancel — cooperative cancellation token, polled between
+  ///     probes and inside the solver's periodic conflict check.
+  ///   * budget.fault — deterministic fault injector; a request keyed k
+  ///     reports each probe as (key = k, call = per-request ordinal), so
+  ///     the schedule never shifts which probe a plan hits.
+  ///   * budget.deadline — wall-clock deadline combined (min) with
+  ///     sample_timeout_s; prepare() also observes it.
+  /// The default (unlimited, no token, no plan) reproduces the original
+  /// behavior byte-for-byte.
+  Budget budget;
 };
 
 struct UniGenStats {
@@ -80,7 +99,11 @@ struct UniGenStats {
   std::uint64_t samples_ok = 0;
   std::uint64_t samples_failed = 0;   ///< ⊥ outcomes
   std::uint64_t samples_timed_out = 0;
+  std::uint64_t samples_cancelled = 0;
   std::uint64_t sample_bsat_calls = 0;
+  /// Probes that reported Undef and triggered the paper's Section-5 retry
+  /// (same i, fresh hash) — injected faults land here too, which is what
+  /// the fault-injection tests assert on.
   std::uint64_t bsat_timeout_retries = 0;
   double sample_seconds = 0.0;
   /// Incremental-BSAT engine counters for the sampling engine shared by the
@@ -105,6 +128,11 @@ struct UniGenStats {
                                : total_xor_row_length /
                                      static_cast<double>(total_xor_rows);
   }
+  /// Fraction of requests that produced a witness.  Every terminal status
+  /// counts in the denominator — ⊥, timeout and cancellation alike — so
+  /// the ratio stays comparable to the paper's success probability no
+  /// matter which degraded paths fired (cancelled requests are requests
+  /// the caller asked for and did not get).
   double success_rate() const {
     return samples_requested == 0
                ? 0.0
@@ -157,21 +185,39 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
     const UniGenOptions& options, Rng& rng, UniGenPrepared& prep,
     UniGenStats& stats);
 
+/// Outcome of one accept-cell run (Algorithm 1 lines 12–17), with every
+/// degraded path kept distinct: kComplete = a cell in the acceptance
+/// window, kFailed = the paper's ⊥ (all candidate i exhausted — an allowed,
+/// bounded-probability outcome, *not* an error), kTimedOut = a wall or
+/// deterministic-unit budget expired first, kCancelled = the caller's token
+/// fired.  The ad-hoc `bool& timed_out` this replaces could not tell ⊥
+/// from cancellation.
+struct AcceptCellResult {
+  RequestStatus status = RequestStatus::kFailed;
+  /// Non-empty iff status == kComplete.
+  std::vector<Model> cell;
+
+  bool ok() const { return status == RequestStatus::kComplete; }
+};
+
 /// Lines 12–17 against a caller-owned engine and RNG stream: draws hashes
 /// until a cell lands in [loThresh, hiThresh]; returns its witnesses in
 /// *canonical (lexicographic) order* — enumeration order depends on the
 /// solver's learnt-clause history, so sorting is what makes the drawn
 /// witness a pure function of (formula, prep, rng), the determinism
-/// contract the parallel service relies on.  Empty = ⊥; a deadline expiry
-/// is signalled via `timed_out`.  `formula_vars` is Cnf::num_vars() (models
-/// are projected back onto the formula's variables).  Thread-safe as long
-/// as engine/rng/stats are private to the calling thread.
-std::vector<Model> unigen_accept_cell(IncrementalBsat& engine,
-                                      const std::vector<Var>& sampling_set,
-                                      const UniGenPrepared& prep,
-                                      const UniGenOptions& options,
-                                      Var formula_vars, Rng& rng,
-                                      UniGenStats& stats, bool& timed_out);
+/// contract the parallel service relies on.  `formula_vars` is
+/// Cnf::num_vars() (models are projected back onto the formula's
+/// variables).  `fault_key` identifies this request to
+/// options.budget.fault (use the request's stream index so plans are
+/// schedule-independent).  Thread-safe as long as engine/rng/stats are
+/// private to the calling thread; the budget's token/plan may be shared.
+AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
+                                    const std::vector<Var>& sampling_set,
+                                    const UniGenPrepared& prep,
+                                    const UniGenOptions& options,
+                                    Var formula_vars, Rng& rng,
+                                    UniGenStats& stats,
+                                    std::uint64_t fault_key = 0);
 
 /// Lines 5–7 (easy case): one uniform draw from the full witness list.
 /// Shared by UniGen and the pool so trivial-mode semantics cannot drift
@@ -214,9 +260,8 @@ class UniGen final : public WitnessSampler {
 
  private:
   /// Lines 12–17: draws hashes until a cell lands in the acceptance
-  /// window; returns its witnesses (empty = ⊥, timeout signalled via
-  /// `timed_out`).
-  std::vector<Model> accept_cell(bool& timed_out);
+  /// window; the result keeps ⊥ / timeout / cancellation distinct.
+  AcceptCellResult accept_cell();
   SampleResult sample_hashed();
 
   Cnf cnf_;

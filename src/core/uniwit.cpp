@@ -53,6 +53,9 @@ SampleResult UniWit::sample() {
         break;
       case SampleResult::Status::kUnsat:
         break;
+      case SampleResult::Status::kCancelled:
+        // UniWit takes no cancellation token; nothing produces this here.
+        break;
     }
     return r;
   };

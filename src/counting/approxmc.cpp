@@ -6,7 +6,6 @@
 #include <stdexcept>
 #include <thread>
 
-#include "counting/approxmc_core.hpp"
 #include "counting/parallel_approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
 
@@ -21,10 +20,275 @@ struct Estimate {
   }
 };
 
-Deadline per_call_deadline(const ApproxMcOptions& options) {
-  if (options.bsat_timeout_s <= 0.0) return options.deadline;
-  const double remaining = options.deadline.remaining_seconds();
-  return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
+/// Did this iteration run to an end that is a pure function of its stream
+/// (+ fault plan)?  Those are the outcomes a resume may keep; anything else
+/// — never started, cancelled, or cut by a wall clock — is treated as
+/// never run and re-executed.  An injected-fault timeout IS deterministic
+/// (the plan is keyed on schedule-independent coordinates); a conflict-cap
+/// timeout is deterministic exactly when no wall clock could also have
+/// fired (`wall_free`), since the two are indistinguishable after the fact.
+bool deterministic_end(const ApproxMcCoreOutcome& o, bool wall_free) {
+  if (o.bsat_calls == 0 || o.cancelled) return false;
+  if (o.ok || o.faulted) return true;
+  if (o.timed_out) return wall_free;
+  return true;  // ran out of hash counts without a small cell: stream-pure
+}
+
+/// Executes (or continues) the run described by `st` under
+/// st.options.budget, and folds the anytime result.  `rng` is the caller's
+/// generator on the first slice (to fork the iteration base, preserving the
+/// classic entry point's rng advancement) and null on resume.
+ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
+                            Rng* rng) {
+  const ApproxMcOptions& options = st.options;
+  const Budget& budget = options.budget;
+  ApproxMcAnytime any;
+  ApproxMcResult& result = any.result;
+
+  if (!st.prologue_done) st.pivot = approxmc_pivot(options.epsilon);
+  result.pivot = st.pivot;
+  const std::vector<Var> sampling_set = cnf.sampling_set_or_all();
+
+  // Count-safe preprocessing: ApproxMC only ever reports |R_S|, which every
+  // simplification pass preserves (simplify/simplify.hpp), and it never
+  // hands out witnesses, so no model reconstruction is needed here.  The
+  // pipeline is deterministic, so a resume re-derives the same formula.
+  std::optional<Simplifier> simplifier;
+  if (options.simplify.enabled) {
+    simplifier.emplace(cnf, options.simplify);
+    result.simplify = simplifier->stats();
+  }
+  const Cnf& formula = simplifier ? simplifier->result() : cnf;
+
+  const auto finish = [&any, &st](RequestStatus status) -> ApproxMcAnytime& {
+    any.status = status;
+    st.options.budget = Budget{};  // scrub borrowed pointers / stale clocks
+    any.state = std::move(st);
+    return any;
+  };
+
+  // Replaying a run that already concluded: reconstruct, touch nothing.
+  if (st.exact_done) {
+    result.valid = true;
+    result.exact = true;
+    result.cell_count = st.exact_cell_count;
+    result.bsat_calls = 1;
+    any.achieved_delta = 0.0;
+    return finish(RequestStatus::kComplete);
+  }
+
+  // One persistent solver for the prologue (and, on the serial path, the
+  // whole count); the parallel path moves it into worker 0 so the probe's
+  // warm-up is not wasted and each worker still builds exactly one solver.
+  auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
+  const auto fold_engine = [&result, &engine] {
+    fold_solver_stats(result, engine->stats());
+  };
+
+  if (!st.prologue_done) {
+    st.n = static_cast<std::uint32_t>(sampling_set.size());
+    if (budget.cancelled()) {
+      fold_engine();
+      return finish(RequestStatus::kCancelled);
+    }
+    // Unhashed first: small solution spaces are counted exactly.  Charged
+    // as 1 deterministic unit; no fault key (the plan addresses iterations).
+    ProbeLimits limits;
+    limits.deadline = budget.per_call_deadline();
+    limits.conflict_budget = budget.conflicts_per_call;
+    limits.cancel = budget.cancel != nullptr ? budget.cancel->flag() : nullptr;
+    const EnumerateResult r =
+        engine->enumerate_cell(0, st.pivot + 1, limits, false);
+    result.bsat_calls = 1;
+    if (r.cancelled) {
+      fold_engine();
+      return finish(RequestStatus::kCancelled);
+    }
+    if (r.timed_out) {
+      // Nothing settled; a resume retries the prologue from scratch.
+      result.timed_out = true;
+      fold_engine();
+      return finish(RequestStatus::kTimedOut);
+    }
+    if (r.count <= st.pivot) {
+      st.prologue_done = true;
+      st.exact_done = true;
+      st.exact_cell_count = r.count;
+      result.valid = true;
+      result.exact = true;
+      result.cell_count = r.count;
+      result.hash_count = 0;
+      any.achieved_delta = 0.0;
+      fold_engine();
+      return finish(RequestStatus::kComplete);
+    }
+    if (st.n == 0) {
+      // Sampling set exhausted but more than pivot projections exist —
+      // cannot happen; defensive.
+      fold_engine();
+      return finish(RequestStatus::kFailed);
+    }
+    st.prologue_done = true;
+    st.iterations_requested = approxmc_iteration_count(options.delta);
+    // Per-iteration keyed RNG streams: iteration i draws everything from
+    // fork_stream(i) of a one-draw fork of the caller's rng.  Serial and
+    // parallel paths advance the caller's rng identically (that one draw)
+    // and hand iteration i identical randomness, which — together with the
+    // canonical fold below — makes the count a pure function of
+    // (formula, options, seed), thread count excluded.
+    // On the first slice this advances the caller's rng exactly as the
+    // classic entry point always has; a resume that reaches here (the
+    // first slice's prologue was cut) forks the entry snapshot instead —
+    // the identical value, since the snapshot was taken before that fork.
+    st.iter_base = rng != nullptr ? rng->fork() : st.entry_rng.fork();
+    st.outcomes.assign(static_cast<std::size_t>(st.iterations_requested),
+                       ApproxMcCoreOutcome{});
+    st.settled.assign(static_cast<std::size_t>(st.iterations_requested), 0);
+  } else {
+    result.bsat_calls = 1;  // the original slice's prologue probe
+  }
+
+  result.iterations_requested = st.iterations_requested;
+  // Deterministic mode follows the *cumulative* grant (a resume that adds
+  // units continues a deterministic run even if its own Budget carries no
+  // fault plan), so the cold-start policy cannot flip between slices.
+  const bool det = st.units_granted > 0 || budget.fault != nullptr;
+  const std::uint64_t grant = st.units_granted;
+
+  // Unit ledger entering this slice: the prologue plus every settled
+  // iteration, all of whose costs are stream-pure in deterministic mode.
+  std::uint64_t spent = 1;
+  for (std::size_t i = 0; i < st.outcomes.size(); ++i)
+    if (st.settled[i]) spent += st.outcomes[i].bsat_calls;
+
+  std::size_t threads =
+      options.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  // More workers than iterations would only build idle engines.
+  threads = std::min(
+      threads, static_cast<std::size_t>(st.iterations_requested));
+
+  if (threads > 1) {
+    ParallelCountControl control;
+    control.settled = &st.settled;
+    control.units_granted = grant;
+    control.units_spent = spent;
+    control.cold_starts = det;
+    parallel_approxmc_iterations(formula, sampling_set, options, threads,
+                                 st.iter_base, std::move(engine), st.outcomes,
+                                 result, control);
+  } else {
+    std::uint32_t prev_m = 0;  // 0 = cold start for the first iteration
+    for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
+      if (st.settled[i]) {
+        // ApproxMC2-style leapfrog: completed iterations (here, from an
+        // earlier slice) seed later searches — same rule as below.
+        if (!det) {
+          if (const auto m = leapfrog_publish(st.outcomes[i])) prev_m = *m;
+        }
+        continue;
+      }
+      if (budget.cancelled()) break;   // later slots stay "skipped"
+      if (budget.wall_expired()) break;
+      if (grant != 0 && spent >= grant) break;
+      Rng it_rng = st.iter_base.fork_stream(i);
+      st.outcomes[i] = approxmc_core_iteration(*engine, st.n, st.pivot,
+                                               options, det ? 0 : prev_m,
+                                               it_rng, /*fault_key=*/i);
+      spent += st.outcomes[i].bsat_calls;
+      if (!det) {
+        if (const auto m = leapfrog_publish(st.outcomes[i])) prev_m = *m;
+      }
+    }
+    fold_engine();
+  }
+
+  // Canonical fold: walk outcomes in iteration order — whatever schedule
+  // produced them — then take the median by value.  Identical on the
+  // serial and every parallel schedule because each outcome is a pure
+  // function of its iteration's stream (approxmc_core.hpp).
+  //
+  // Settlement first.  Deterministic mode admits the longest prefix of
+  // stream-pure completions the cumulative grant covers — executed work
+  // beyond that prefix is scrubbed (racy schedules may overrun the racy
+  // ledger; what the grant *bought* must not depend on the race) and a
+  // resume re-runs it byte-identically.  Wall-clock mode keeps every
+  // stream-pure completion wherever it sits (there is no purity claim to
+  // protect) and leaves wall-cut slots unsettled for a resume to retry.
+  const bool wall_free = budget.wall_free();
+  bool cancelled_seen = budget.cancelled();
+  for (const ApproxMcCoreOutcome& o : st.outcomes)
+    cancelled_seen = cancelled_seen || o.cancelled;
+  if (det) {
+    std::uint64_t cum = 1;  // the prologue's unit
+    std::size_t prefix = 0;
+    while (prefix < st.outcomes.size()) {
+      const ApproxMcCoreOutcome& o = st.outcomes[prefix];
+      if (!st.settled[prefix]) {
+        if (!deterministic_end(o, wall_free)) break;
+        if (grant != 0 && cum + o.bsat_calls > grant) break;
+      }
+      cum += o.bsat_calls;
+      ++prefix;
+    }
+    for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
+      st.settled[i] = i < prefix ? 1 : 0;
+      if (i >= prefix) st.outcomes[i] = ApproxMcCoreOutcome{};
+    }
+  } else {
+    for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
+      if (deterministic_end(st.outcomes[i], wall_free)) {
+        st.settled[i] = 1;
+      } else {
+        // Wall-mode diagnostics count the cut attempt before scrubbing it
+        // (legacy behavior: a timed-out iteration's probes happened).
+        result.bsat_calls += st.outcomes[i].bsat_calls;
+        st.settled[i] = 0;
+        st.outcomes[i] = ApproxMcCoreOutcome{};
+      }
+    }
+  }
+
+  std::vector<Estimate> estimates;
+  for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
+    if (!st.settled[i]) continue;
+    const ApproxMcCoreOutcome& o = st.outcomes[i];
+    result.bsat_calls += o.bsat_calls;
+    if (o.bsat_calls > 0)  // the iteration actually started
+      ++(o.leapfrogged ? result.leapfrog_warm_starts
+                       : result.leapfrog_cold_starts);
+    if (o.ok) {
+      estimates.push_back(Estimate{o.cell_count, o.hash_count});
+      ++result.iterations_succeeded;
+    }
+    ++any.iterations_completed;
+  }
+  any.achieved_delta =
+      approxmc_median_failure_tail(static_cast<int>(estimates.size()));
+  if (!estimates.empty()) {
+    std::sort(estimates.begin(), estimates.end(),
+              [](const Estimate& a, const Estimate& b) {
+                return a.log2_value() < b.log2_value();
+              });
+    const Estimate median = estimates[estimates.size() / 2];
+    result.valid = true;
+    result.cell_count = median.cell_count;
+    result.hash_count = median.hash_count;
+  }
+
+  const bool all_settled =
+      any.iterations_completed == st.iterations_requested;
+  // Legacy timed_out flag: a budget stopped the run short of any estimate.
+  result.timed_out = !result.valid &&
+                     (budget.wall_expired() || (grant != 0 && !all_settled));
+
+  if (cancelled_seen) return finish(RequestStatus::kCancelled);
+  if (all_settled)
+    return finish(result.valid ? RequestStatus::kComplete
+                               : RequestStatus::kFailed);
+  return finish(result.valid ? RequestStatus::kPartial
+                             : RequestStatus::kTimedOut);
 }
 
 }  // namespace
@@ -43,141 +307,56 @@ std::uint64_t approxmc_pivot(double epsilon) {
                  (1.0 + 1.0 / epsilon)));
 }
 
+double approxmc_median_failure_tail(int t) {
+  if (t <= 0) return 1.0;
+  const double p = 1.0 - std::exp(-1.5);  // per-iteration success probability
+  // The median is bad iff at least ⌊t/2⌋+1 iterations are bad:
+  // tail = sum_{k=⌊t/2⌋+1}^{t} C(t,k) (1-p)^k p^(t-k).
+  double fail = 0.0;
+  for (int k = t / 2 + 1; k <= t; ++k) {
+    double log_c = 0.0;
+    for (int i = 0; i < k; ++i)
+      log_c += std::log(static_cast<double>(t - i)) -
+               std::log(static_cast<double>(i + 1));
+    fail += std::exp(log_c + k * std::log(1.0 - p) + (t - k) * std::log(p));
+  }
+  return std::min(fail, 1.0);
+}
+
 int approxmc_iteration_count(double delta) {
   if (delta <= 0.0 || delta >= 1.0)
     throw std::invalid_argument("approxmc: delta must be in (0,1)");
-  const double p = 1.0 - std::exp(-1.5);  // per-iteration success probability
-  for (int t = 1; t <= 999; t += 2) {
-    // Median of t fails iff at least ceil(t/2) iterations fail:
-    // tail = sum_{k=ceil(t/2)}^{t} C(t,k) (1-p)^k p^(t-k).
-    double fail = 0.0;
-    for (int k = (t + 1) / 2; k <= t; ++k) {
-      double log_c = 0.0;
-      for (int i = 0; i < k; ++i)
-        log_c += std::log(static_cast<double>(t - i)) -
-                 std::log(static_cast<double>(i + 1));
-      fail += std::exp(log_c + k * std::log(1.0 - p) +
-                       (t - k) * std::log(p));
-    }
-    if (fail <= delta) return t;
-  }
+  for (int t = 1; t <= 999; t += 2)
+    if (approxmc_median_failure_tail(t) <= delta) return t;
   return 999;
 }
 
+double approxmc_delta_achieved(int t) { return approxmc_median_failure_tail(t); }
+
 ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
                             Rng& rng) {
-  ApproxMcResult result;
-  result.pivot = approxmc_pivot(options.epsilon);
-  const std::vector<Var> sampling_set = cnf.sampling_set_or_all();
-  const auto n = static_cast<std::uint32_t>(sampling_set.size());
+  return approx_count_anytime(cnf, options, rng).result;
+}
 
-  // Count-safe preprocessing: ApproxMC only ever reports |R_S|, which every
-  // simplification pass preserves (simplify/simplify.hpp), and it never
-  // hands out witnesses, so no model reconstruction is needed here.
-  std::optional<Simplifier> simplifier;
-  if (options.simplify.enabled) {
-    simplifier.emplace(cnf, options.simplify);
-    result.simplify = simplifier->stats();
-  }
-  const Cnf& formula = simplifier ? simplifier->result() : cnf;
+ApproxMcAnytime approx_count_anytime(const Cnf& cnf,
+                                     const ApproxMcOptions& options,
+                                     Rng& rng) {
+  ApproxMcAnytimeState st;
+  st.options = options;
+  st.units_granted = options.budget.max_bsat_calls;
+  st.entry_rng = rng;  // snapshot only; run_anytime advances `rng` itself
+  return run_anytime(cnf, std::move(st), &rng);
+}
 
-  // One persistent solver for the prologue (and, on the serial path, the
-  // whole count); the parallel path moves it into worker 0 so the probe's
-  // warm-up is not wasted and each worker still builds exactly one solver.
-  auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
-  const auto fold_engine = [&result, &engine] {
-    fold_solver_stats(result, engine->stats());
-  };
-
-  // Unhashed first: small solution spaces are counted exactly.
-  {
-    const EnumerateResult r = engine->enumerate_cell(
-        0, result.pivot + 1, per_call_deadline(options), false);
-    ++result.bsat_calls;
-    if (r.timed_out) {
-      result.timed_out = true;
-      fold_engine();
-      return result;
-    }
-    if (r.count <= result.pivot) {
-      result.valid = true;
-      result.exact = true;
-      result.cell_count = r.count;
-      result.hash_count = 0;
-      fold_engine();
-      return result;
-    }
+ApproxMcAnytime approx_count_resume(const Cnf& cnf, ApproxMcAnytimeState state,
+                                    const Budget& more_budget) {
+  state.options.budget = more_budget;
+  if (more_budget.max_bsat_calls > 0) {
+    // The grant is cumulative: cut at B₁ then resume with B₂ charges the
+    // admission fold against B₁+B₂, exactly the single-grant run's ledger.
+    state.units_granted += more_budget.max_bsat_calls;
   }
-  if (n == 0) {
-    // Sampling set exhausted but more than pivot projections exist — cannot
-    // happen; defensive.
-    fold_engine();
-    return result;
-  }
-
-  result.iterations_requested = approxmc_iteration_count(options.delta);
-  // Per-iteration keyed RNG streams: iteration i draws everything from
-  // fork_stream(i) of a one-draw fork of the caller's rng.  Serial and
-  // parallel paths advance the caller's rng identically (that one draw)
-  // and hand iteration i identical randomness, which — together with the
-  // canonical fold below — makes the count a pure function of
-  // (formula, options, seed), thread count excluded.
-  Rng iter_base = rng.fork();
-  std::size_t threads =
-      options.num_threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : options.num_threads;
-  // More workers than iterations would only build idle engines.
-  threads = std::min(threads,
-                     static_cast<std::size_t>(result.iterations_requested));
-
-  std::vector<ApproxMcCoreOutcome> outcomes(
-      static_cast<std::size_t>(result.iterations_requested));
-  if (threads > 1) {
-    parallel_approxmc_iterations(formula, sampling_set, options, threads,
-                                 iter_base, std::move(engine), outcomes,
-                                 result);
-  } else {
-    std::uint32_t prev_m = 0;  // 0 = cold start for the first iteration
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      if (options.deadline.expired()) break;  // later slots stay "skipped"
-      Rng it_rng = iter_base.fork_stream(i);
-      outcomes[i] = approxmc_core_iteration(*engine, n, result.pivot,
-                                            options, prev_m, it_rng);
-      // ApproxMC2-style leapfrog: the next search starts from this m.
-      if (outcomes[i].ok) prev_m = outcomes[i].hash_count;
-    }
-    fold_engine();
-  }
-
-  // Canonical fold: walk outcomes in iteration order — whatever schedule
-  // produced them — then take the median by value.  Identical on the
-  // serial and every parallel schedule because each outcome is a pure
-  // function of its iteration's stream (approxmc_core.hpp).
-  std::vector<Estimate> estimates;
-  for (const ApproxMcCoreOutcome& o : outcomes) {
-    result.bsat_calls += o.bsat_calls;
-    if (o.bsat_calls > 0)  // the iteration actually started
-      ++(o.leapfrogged ? result.leapfrog_warm_starts
-                       : result.leapfrog_cold_starts);
-    if (o.ok) {
-      estimates.push_back(Estimate{o.cell_count, o.hash_count});
-      ++result.iterations_succeeded;
-    }
-  }
-  if (estimates.empty()) {
-    result.timed_out = options.deadline.expired();
-    return result;
-  }
-  std::sort(estimates.begin(), estimates.end(),
-            [](const Estimate& a, const Estimate& b) {
-              return a.log2_value() < b.log2_value();
-            });
-  const Estimate median = estimates[estimates.size() / 2];
-  result.valid = true;
-  result.cell_count = median.cell_count;
-  result.hash_count = median.hash_count;
-  return result;
+  return run_anytime(cnf, std::move(state), nullptr);
 }
 
 }  // namespace unigen

@@ -21,13 +21,37 @@
 //     the same (ε, δ) guarantee for exactly this prefix-slicing structure —
 //     and is what lets the incremental BSAT engine activate levels by
 //     assumption instead of rebuilding a solver per probe.
+//
+// Anytime contract (approx_count_anytime / approx_count_resume): the t
+// median iterations are independent, so a run cut short by its Budget
+// still owns every iteration it completed.  A cut run reports
+// RequestStatus::kPartial with the median over the completed iterations
+// and the δ those iterations actually achieve (fewer iterations ⇒ a fatter
+// binomial median tail ⇒ weaker confidence — approxmc_delta_achieved), plus
+// a resume state.  Under a *deterministic* budget (Budget::max_bsat_calls
+// and/or a fault plan; no wall clocks) the contract sharpens to byte
+// identity: cut + resume(remaining units) ≡ the uninterrupted run with the
+// total grant, at every thread count.  The three mechanisms behind that:
+//   * cold starts — deterministic-budget runs ignore the leapfrog hint, so
+//     each iteration's probe count (its unit cost) is a pure function of
+//     its RNG stream (approxmc_core.hpp);
+//   * grant accounting — the state records units *granted*, not spent, so
+//     resume(B₂) after a cut at B₁ reproduces the single-grant run B₁+B₂;
+//   * canonical admission — workers check the shared spent-counter racily
+//     (work conservation only); what the result *admits* is decided at
+//     fold time: the longest prefix of iterations that ran to their
+//     deterministic end within the grant.  Anything a racy schedule ran
+//     beyond that prefix is discarded from result and state, and resume
+//     re-runs it — stream purity makes the re-run byte-identical.
 
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "cnf/cnf.hpp"
+#include "counting/approxmc_core.hpp"
 #include "sat/solver.hpp"
+#include "service/budget.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -37,11 +61,10 @@ namespace unigen {
 struct ApproxMcOptions {
   double epsilon = 0.8;  ///< tolerance (ε > 0)
   double delta = 0.2;    ///< 1 − confidence
-  /// Deadline for the whole count.
-  Deadline deadline = Deadline::never();
-  /// Optional per-BSAT-call timeout in seconds (0 = none); mirrors the
-  /// paper's 2500 s per-call budget.
-  double bsat_timeout_s = 0.0;
+  /// Resource envelope of the whole count: wall-clock deadline and
+  /// per-BSAT-call timeout (the paper's 2500 s budget), deterministic unit
+  /// budgets, cancellation, fault plan.  See service/budget.hpp.
+  Budget budget;
   /// Worker threads the t median iterations fan out across: 1 = serial
   /// (in-place, no threads spawned), 0 = hardware_concurrency, n = n.
   /// Iterations are independent (that is the median argument), each draws
@@ -49,11 +72,17 @@ struct ApproxMcOptions {
   /// iteration order — so the reported count is byte-identical across all
   /// values of this switch for a fixed seed (asserted by
   /// tests/test_parallel_approxmc.cpp); only wall-clock changes.  Caveat
-  /// (as for the sampling service): the contract assumes no per-probe
-  /// budget fires — whether a solve beats bsat_timeout_s / the deadline is
-  /// machine- and schedule-dependent, and an iteration cut short in one
-  /// schedule but not another shifts the median.  Keep the budgets
-  /// comfortably above per-probe solve times when replicas must agree.
+  /// (as for the sampling service): the contract assumes no *wall-clock*
+  /// budget fires — whether a solve beats budget.bsat_timeout_s / the
+  /// deadline is machine- and schedule-dependent, and an iteration cut
+  /// short in one schedule but not another shifts the median.  Keep wall
+  /// budgets comfortably above per-probe solve times when replicas must
+  /// agree — or use the deterministic units (budget.max_bsat_calls), whose
+  /// cuts are part of the byte-identity contract rather than a breach of
+  /// it.  (budget.conflicts_per_call sits in between: deterministic
+  /// run-to-run at a fixed thread count, but whether a probe hits the cap
+  /// depends on the serving engine's learnt history, which is
+  /// schedule-dependent on pools.)
   std::size_t num_threads = 1;
   /// Count-safe CNF simplification in front of the run (on by default;
   /// projected counts over S are invariant, see simplify/simplify.hpp).
@@ -63,7 +92,7 @@ struct ApproxMcOptions {
 
 struct ApproxMcResult {
   bool valid = false;      ///< an estimate was produced
-  bool timed_out = false;  ///< the deadline cut the computation short
+  bool timed_out = false;  ///< a budget cut the computation short of any estimate
   /// The estimate is cell_count · 2^hash_count.
   std::uint64_t cell_count = 0;
   std::uint32_t hash_count = 0;
@@ -99,7 +128,7 @@ struct ApproxMcResult {
   std::uint64_t solver_propagations = 0;
   /// Leapfrog accounting: iterations whose hash-count search started from
   /// a previously completed iteration's m versus from the cold gallop.
-  /// warm + cold == iterations actually started (deadline skips excluded).
+  /// warm + cold == iterations actually started (budget skips excluded).
   std::uint64_t leapfrog_warm_starts = 0;
   std::uint64_t leapfrog_cold_starts = 0;
   /// Worker threads the iterations actually fanned out across (1 when the
@@ -121,11 +150,96 @@ void fold_solver_stats(ApproxMcResult& result, const SolverStats& st);
 /// pivot(ε) = 2·⌈3·e^{1/2}·(1 + 1/ε)²⌉  (CP 2013).
 std::uint64_t approxmc_pivot(double epsilon);
 
-/// Smallest odd iteration count t whose median-of-t failure probability is
-/// below δ, assuming each core iteration succeeds with p = 1 − e^{−3/2}.
+/// P[the median of t core iterations is bad], assuming each iteration is
+/// independently good with p = 1 − e^{−3/2} (the CP 2013 analysis): the
+/// binomial tail P[#bad >= ⌊t/2⌋+1].  Defined for every t >= 1 (a cut run
+/// may be left with an even or single iteration count); t <= 0 → 1.0.
+double approxmc_median_failure_tail(int t);
+
+/// Smallest odd iteration count t with approxmc_median_failure_tail(t) <= δ.
 int approxmc_iteration_count(double delta);
+
+/// The δ a count computed from t completed iterations actually achieves —
+/// the honesty label on a Partial result: its (ε, δ') guarantee holds with
+/// δ' = approxmc_median_failure_tail(t), weaker than the requested δ when
+/// the budget cut iterations away.
+double approxmc_delta_achieved(int t);
 
 ApproxMcResult approx_count(const Cnf& cnf, const ApproxMcOptions& options,
                             Rng& rng);
+
+// --- anytime API ------------------------------------------------------
+
+/// Everything a cut ApproxMC run needs to continue: the prologue's
+/// conclusions (so resume never re-probes them), the iteration RNG base
+/// (stream i of which fully determines iteration i), the per-iteration
+/// outcomes settled so far, and the cumulative unit grant.  Plain value
+/// type — copyable, serializable field-by-field; no live pointers.
+struct ApproxMcAnytimeState {
+  /// The options of the original call (budget pointers scrubbed; each
+  /// resume supplies a fresh Budget).  Resume must run against the same
+  /// formula and the same options, or the streams mean nothing.
+  ApproxMcOptions options;
+  /// Prologue: the unhashed exact-count probe ran (1 unit) and the run is
+  /// in the iteration phase — or resolved exactly (`exact_done`).
+  bool prologue_done = false;
+  bool exact_done = false;
+  /// The exact projected count when exact_done (the run needs no
+  /// iterations; resume is a no-op that reconstructs the result).
+  std::uint64_t exact_cell_count = 0;
+  std::uint64_t pivot = 0;
+  std::uint32_t n = 0;  ///< |S| of the (simplified) formula
+  int iterations_requested = 0;
+  /// Base of the per-iteration keyed streams (iteration i uses
+  /// fork_stream(i)); a copy of the one fork taken from the caller's rng.
+  Rng iter_base{0};
+  /// Snapshot of the caller's rng at the original call (copied, never
+  /// advanced by the snapshot itself).  Only consulted when a resume has to
+  /// finish a prologue the first slice never completed: the fork it then
+  /// takes is the one the uninterrupted run would have taken, keeping the
+  /// byte-identity contract alive across a prologue-level cut.
+  Rng entry_rng{0};
+  /// Cumulative deterministic units granted across the original call and
+  /// every resume (0 = unlimited).  The admission fold charges against
+  /// this total, which is what makes cut-then-resume reproduce the
+  /// single-grant run instead of re-billing the spent prefix.
+  std::uint64_t units_granted = 0;
+  /// Slot i = iteration i.  Settled slots (see `settled`) are never re-run;
+  /// the rest are default-valued and resume re-executes them from their
+  /// streams.
+  std::vector<ApproxMcCoreOutcome> outcomes;
+  /// settled[i] != 0 ⇔ outcomes[i] is final.  Deterministic mode: the
+  /// canonically admitted prefix.  Wall-clock mode: iterations that ran to
+  /// a deterministic end (an estimate, or a no-estimate completion);
+  /// wall-timed-out iterations stay unsettled so resume retries them.
+  std::vector<char> settled;
+};
+
+/// Anytime result: the classic ApproxMcResult (its estimate drawn from the
+/// settled iterations only), plus the honesty labels and the resume handle.
+struct ApproxMcAnytime {
+  RequestStatus status = RequestStatus::kTimedOut;
+  ApproxMcResult result;
+  /// approxmc_delta_achieved(#estimates the median was taken over); 1.0
+  /// when there is no estimate.  kComplete runs can sit slightly above the
+  /// requested δ too when some iterations failed algorithmically.
+  double achieved_delta = 1.0;
+  /// Settled iterations (== iterations_requested on kComplete/kFailed).
+  int iterations_completed = 0;
+  ApproxMcAnytimeState state;
+};
+
+/// approx_count with the anytime contract: never returns less than what the
+/// budget paid for.  options.budget is the first grant.
+ApproxMcAnytime approx_count_anytime(const Cnf& cnf,
+                                     const ApproxMcOptions& options, Rng& rng);
+
+/// Continues a cut run with `more_budget` (whose max_bsat_calls are *added*
+/// to the state's cumulative grant).  `cnf` must be the formula of the
+/// original call.  In deterministic-budget mode the final result is
+/// byte-identical to the uninterrupted run with the combined grant; resume
+/// of a kComplete/kFailed state returns it unchanged.
+ApproxMcAnytime approx_count_resume(const Cnf& cnf, ApproxMcAnytimeState state,
+                                    const Budget& more_budget);
 
 }  // namespace unigen

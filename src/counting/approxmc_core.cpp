@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "counting/approxmc.hpp"
 #include "hashing/xor_hash.hpp"
+#include "service/budget.hpp"
 
 namespace unigen {
 namespace {
@@ -11,13 +13,9 @@ struct ProbeOutcome {
   std::uint64_t count = 0;
   bool small = false;  // count <= pivot with the space exhausted
   bool timed_out = false;
+  bool cancelled = false;
+  bool faulted = false;
 };
-
-Deadline per_call_deadline(const ApproxMcOptions& options) {
-  if (options.bsat_timeout_s <= 0.0) return options.deadline;
-  const double remaining = options.deadline.remaining_seconds();
-  return Deadline::in_seconds(std::min(remaining, options.bsat_timeout_s));
-}
 
 /// BSAT on F ∧ (first m rows of the iteration's hash), bounded at pivot+1.
 /// Runs on the persistent engine: rows are drawn lazily as m climbs and
@@ -25,18 +23,34 @@ Deadline per_call_deadline(const ApproxMcOptions& options) {
 /// happens per call (ApproxMC2 uses the same nested-prefix hash levels).
 ProbeOutcome probe(IncrementalBsat& engine, std::uint32_t m,
                    std::uint64_t pivot, const ApproxMcOptions& options,
-                   Rng& rng, std::uint64_t& bsat_calls) {
+                   Rng& rng, std::uint64_t fault_key,
+                   std::uint64_t& bsat_calls) {
+  const Budget& budget = options.budget;
+  ProbeOutcome out;
+  // The fault plan addresses probes by (iteration, call ordinal), both
+  // schedule-independent; a faulted probe is charged like a real one (the
+  // unit ledger is part of the deterministic cost) but never runs — it is
+  // the paper's 2500 s timeout made reproducible.
+  if (budget.fault_fires(fault_key, bsat_calls)) {
+    ++bsat_calls;
+    out.timed_out = true;
+    out.faulted = true;
+    return out;
+  }
   if (m > engine.hash_level())
     engine.push_rows(
         draw_xor_hash(engine.projection(), m - engine.hash_level(), rng));
-  const EnumerateResult r =
-      engine.enumerate_cell(m, pivot + 1, per_call_deadline(options), false);
+  ProbeLimits limits;
+  limits.deadline = budget.per_call_deadline();
+  limits.conflict_budget = budget.conflicts_per_call;
+  limits.cancel = budget.cancel != nullptr ? budget.cancel->flag() : nullptr;
+  const EnumerateResult r = engine.enumerate_cell(m, pivot + 1, limits, false);
   ++bsat_calls;
 
-  ProbeOutcome out;
   out.count = r.count;
+  out.cancelled = r.cancelled;
   out.timed_out = r.timed_out;
-  out.small = !r.timed_out && r.count <= pivot;
+  out.small = !r.timed_out && !r.cancelled && r.count <= pivot;
   return out;
 }
 
@@ -46,7 +60,8 @@ ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
                                             std::uint32_t n,
                                             std::uint64_t pivot,
                                             const ApproxMcOptions& options,
-                                            std::uint32_t start_m, Rng& rng) {
+                                            std::uint32_t start_m, Rng& rng,
+                                            std::uint64_t fault_key) {
   ApproxMcCoreOutcome out;
   out.leapfrogged = start_m > 0;
 
@@ -60,10 +75,19 @@ ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
   std::uint32_t m = std::clamp<std::uint32_t>(std::max(start_m, 1u), 1, n);
   engine.begin_hash();  // fresh hash per iteration; levels nest within it
   for (;;) {
-    const ProbeOutcome pr = probe(engine, m, pivot, options, rng,
+    if (options.budget.cancelled()) {
+      out.cancelled = true;
+      return out;
+    }
+    const ProbeOutcome pr = probe(engine, m, pivot, options, rng, fault_key,
                                   out.bsat_calls);
+    if (pr.cancelled) {
+      out.cancelled = true;
+      return out;
+    }
     if (pr.timed_out) {
       out.timed_out = true;
+      out.faulted = pr.faulted;
       return out;
     }
     if (pr.small) {
@@ -86,6 +110,11 @@ ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
   out.cell_count = hi_count;
   out.hash_count = hi;
   return out;
+}
+
+std::optional<std::uint32_t> leapfrog_publish(const ApproxMcCoreOutcome& o) {
+  if (!o.ok) return std::nullopt;
+  return o.hash_count;
 }
 
 }  // namespace unigen

@@ -23,25 +23,45 @@
 // outcome — which is exactly why the parallel service can share hints
 // across racing iterations and still fold byte-identical results, and why
 // ApproxMC2-style leapfrogging costs no part of the (ε, δ) analysis here.
-// The single caveat is a per-probe timeout: an iteration cut short reports
-// timed_out and contributes nothing.
+// The single caveat is a cut — per-probe timeout, injected fault, or
+// cancellation: an iteration cut short reports how, and contributes no
+// estimate.  One more consequence of stream purity matters to the anytime
+// layer (approxmc.hpp): with a *cold* start (start_m = 0) the probe
+// sequence, and therefore bsat_calls — the unit cost — is itself a pure
+// function of the stream, which is why deterministic-budget runs force
+// cold starts everywhere instead of chasing the racy hint.
 
 #include <cstdint>
+#include <optional>
 
-#include "counting/approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
 #include "util/rng.hpp"
 
 namespace unigen {
 
+// counting/approxmc.hpp; declared here so that header can embed
+// ApproxMcCoreOutcome in the anytime resume state without a cycle.
+struct ApproxMcOptions;
+
 struct ApproxMcCoreOutcome {
   /// The iteration produced an estimate (cell_count · 2^hash_count).
   bool ok = false;
-  /// A per-probe deadline expired mid-search.
+  /// A budget expired mid-search (per-probe deadline or conflict cap, or —
+  /// when `faulted` is also set — an injected fault posing as one).
   bool timed_out = false;
+  /// The cancel token tripped mid-search; contributes nothing, and the
+  /// anytime layer treats the slot as never run (cancellation is the one
+  /// nondeterminism the determinism contract must survive).
+  bool cancelled = false;
+  /// The timeout above was an injected fault (Budget::fault) — i.e. the
+  /// cut is a pure function of (fault plan, stream) and the outcome is
+  /// deterministic even though timed_out is set.
+  bool faulted = false;
   std::uint64_t cell_count = 0;
   std::uint32_t hash_count = 0;
   /// BSAT probes this iteration made (the leapfrog savings show up here).
+  /// Faulted probes charge too: the unit ledger must match across a run
+  /// and its resume, and the fault plan is part of the deterministic cost.
   std::uint64_t bsat_calls = 0;
   /// True when the search started from a prior iteration's m (start_m > 0)
   /// instead of the cold gallop from m = 1.
@@ -50,14 +70,27 @@ struct ApproxMcCoreOutcome {
 
 /// Runs one iteration on `engine` (a fresh hash epoch is opened; previous
 /// epochs' rows become inert).  `n` = |S|, `pivot` the cell-size bound,
-/// `start_m` = 0 for the cold search or the leapfrog hint.  Uses
-/// options.deadline / options.bsat_timeout_s for the per-probe budget; the
-/// caller owns the iteration-level deadline policy.  `rng` must be the
-/// iteration's private stream (see stream purity above).
+/// `start_m` = 0 for the cold search or the leapfrog hint.  The probe
+/// envelope (deadline, per-call timeout, conflict cap, cancellation, fault
+/// plan) comes from options.budget; the caller owns the iteration-level
+/// budget policy.  `rng` must be the iteration's private stream (see
+/// stream purity above).  `fault_key` identifies this iteration to the
+/// fault plan (the canonical iteration index): probe c of iteration k asks
+/// fault->inject_timeout(fault_key, c), a schedule-independent coordinate.
 ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
                                             std::uint32_t n,
                                             std::uint64_t pivot,
                                             const ApproxMcOptions& options,
-                                            std::uint32_t start_m, Rng& rng);
+                                            std::uint32_t start_m, Rng& rng,
+                                            std::uint64_t fault_key = 0);
+
+/// The one leapfrog-hint publication rule, shared by the serial loop and
+/// the parallel fan-out so the two cannot drift: an iteration's m may seed
+/// later searches iff the iteration ran to a completed estimate.  A cut
+/// iteration (timeout, fault, cancel) must publish nothing — its m is
+/// where an aborted search happened to stand, not a concentration point,
+/// and a stale hint would bias later iterations' probe counts.  Returns
+/// the m to publish, or nullopt.
+std::optional<std::uint32_t> leapfrog_publish(const ApproxMcCoreOutcome& o);
 
 }  // namespace unigen

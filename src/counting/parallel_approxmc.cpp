@@ -12,29 +12,51 @@ void parallel_approxmc_iterations(const Cnf& formula,
                                   std::size_t threads, const Rng& iter_base,
                                   std::unique_ptr<IncrementalBsat> warm_engine,
                                   std::vector<ApproxMcCoreOutcome>& outcomes,
-                                  ApproxMcResult& result) {
+                                  ApproxMcResult& result,
+                                  const ParallelCountControl& control) {
   const auto n = static_cast<std::uint32_t>(sampling_set.size());
   const std::uint64_t pivot = result.pivot;
+  const Budget& budget = options.budget;
 
   // The leapfrog hint: hash count of the last completed iteration, 0 while
   // none has finished.  Racy on purpose — the hint only steers where the
   // search starts, never what it finds (approxmc_core.hpp), so relaxed
-  // loads/stores are all the coordination the fan-out needs.
+  // loads/stores are all the coordination the fan-out needs.  Publication
+  // goes through leapfrog_publish — the same rule as the serial loop — so
+  // a cut iteration (timeout, fault, cancel) never seeds later searches.
+  // Deterministic-budget runs bypass the hint entirely (control.cold_starts).
   std::atomic<std::uint32_t> hint{0};
+  // Unit ledger shared by the workers.  Like the hint it is only advisory
+  // here (stop starting work the grant can no longer cover); the canonical
+  // admission fold in approxmc.cpp re-derives the charged prefix
+  // schedule-independently.
+  std::atomic<std::uint64_t> spent{control.units_spent};
 
   WorkerPool pool(threads, iter_base);
   pool.start(formula, sampling_set, std::move(warm_engine));
   pool.run(outcomes.size(), /*first_stream=*/0,
            [&](IncrementalBsat& engine, std::size_t /*worker*/,
                std::size_t i, Rng& rng) {
-             if (options.deadline.expired()) return;  // slot stays "skipped"
+             if (control.settled != nullptr && (*control.settled)[i]) return;
+             if (budget.cancelled()) return;       // slot stays "skipped"
+             if (budget.wall_expired()) return;
+             if (control.units_granted != 0 &&
+                 spent.load(std::memory_order_relaxed) >=
+                     control.units_granted)
+               return;
              const std::uint32_t start_m =
-                 hint.load(std::memory_order_relaxed);
+                 control.cold_starts ? 0 : hint.load(std::memory_order_relaxed);
              outcomes[i] = approxmc_core_iteration(engine, n, pivot, options,
-                                                   start_m, rng);
-             if (outcomes[i].ok)
-               hint.store(outcomes[i].hash_count, std::memory_order_relaxed);
-           });
+                                                   start_m, rng,
+                                                   /*fault_key=*/i);
+             spent.fetch_add(outcomes[i].bsat_calls,
+                             std::memory_order_relaxed);
+             if (!control.cold_starts) {
+               if (const auto m = leapfrog_publish(outcomes[i]))
+                 hint.store(*m, std::memory_order_relaxed);
+             }
+           },
+           budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
 
   result.threads_used = pool.num_threads();
   result.workers.reserve(pool.num_threads());

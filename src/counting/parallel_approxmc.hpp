@@ -44,20 +44,41 @@
 
 namespace unigen {
 
+/// Anytime control of one fan-out; defaults reproduce the unbudgeted run.
+struct ParallelCountControl {
+  /// Slots to skip (already settled by an earlier grant); null = none.
+  const std::vector<char>* settled = nullptr;
+  /// Cumulative deterministic unit grant (0 = unlimited): workers stop
+  /// *starting* iterations once the shared spent-counter reaches it.  The
+  /// check is racy by design — work conservation only; the caller's
+  /// canonical admission fold decides what the grant actually bought.
+  std::uint64_t units_granted = 0;
+  /// Units already charged (prologue + previously settled iterations).
+  std::uint64_t units_spent = 0;
+  /// Deterministic mode: every iteration starts cold (start_m = 0) instead
+  /// of chasing the racy shared hint, so its probe count is a pure
+  /// function of its stream (approxmc_core.hpp) at every thread count.
+  bool cold_starts = false;
+};
+
 /// Fans `outcomes.size()` core iterations across `threads` workers.
 /// `formula` must be the (possibly simplified) formula the prologue probed
 /// and must outlive the call; `warm_engine` (worker 0 adopts it) is the
-/// prologue's engine.  Iteration i draws from iter_base.fork_stream(i).
-/// Fills `outcomes` in canonical iteration order and folds the per-worker
-/// engine counters into `result` (workers, the flat solver_* fields, and
-/// threads_used).  Leapfrog/median accounting stays with the caller, which
-/// processes `outcomes` the same way for every schedule.
+/// prologue's engine.  Iteration i draws from iter_base.fork_stream(i) and
+/// reports to the fault plan under key i.  Fills `outcomes` in canonical
+/// iteration order and folds the per-worker engine counters into `result`
+/// (workers, the flat solver_* fields, and threads_used).  Leapfrog/median
+/// accounting stays with the caller, which processes `outcomes` the same
+/// way for every schedule.  Budget cuts (options.budget, `control`) leave
+/// the untouched slots default-valued (bsat_calls == 0); cancellation is
+/// observed both here (between iterations) and inside the pool.
 void parallel_approxmc_iterations(const Cnf& formula,
                                   const std::vector<Var>& sampling_set,
                                   const ApproxMcOptions& options,
                                   std::size_t threads, const Rng& iter_base,
                                   std::unique_ptr<IncrementalBsat> warm_engine,
                                   std::vector<ApproxMcCoreOutcome>& outcomes,
-                                  ApproxMcResult& result);
+                                  ApproxMcResult& result,
+                                  const ParallelCountControl& control = {});
 
 }  // namespace unigen

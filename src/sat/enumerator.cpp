@@ -28,15 +28,30 @@ EnumerateResult enumerate_models(Solver& solver,
   std::vector<Lit> blocking;
   blocking.reserve(projection.size() + 1);
 
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_acquire);
+  };
   while (result.count < options.max_models) {
+    if (cancelled()) {
+      result.cancelled = true;
+      return result;
+    }
     if (options.deadline.expired()) {
       result.timed_out = true;
       return result;
     }
     const lbool status =
-        solver.solve_limited(options.assumptions, options.deadline, 0);
+        solver.solve_limited(options.assumptions, options.deadline,
+                             options.conflict_budget, options.cancel);
     if (status == lbool::Undef) {
-      result.timed_out = true;
+      // Undef = some limit fired mid-search; the flag says which caller
+      // intent it was (a tripped token wins over a concurrently expired
+      // budget — the caller asked to stop either way).
+      if (cancelled())
+        result.cancelled = true;
+      else
+        result.timed_out = true;
       return result;
     }
     if (status == lbool::False) {

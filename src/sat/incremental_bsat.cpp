@@ -52,10 +52,21 @@ EnumerateResult IncrementalBsat::enumerate_cell(std::size_t m,
                                                 std::uint64_t max_models,
                                                 const Deadline& deadline,
                                                 bool store_models) {
+  ProbeLimits limits;
+  limits.deadline = deadline;
+  return enumerate_cell(m, max_models, limits, store_models);
+}
+
+EnumerateResult IncrementalBsat::enumerate_cell(std::size_t m,
+                                                std::uint64_t max_models,
+                                                const ProbeLimits& limits,
+                                                bool store_models) {
   assert(m <= activations_.size());
   EnumerateOptions eopts;
   eopts.max_models = max_models;
-  eopts.deadline = deadline;
+  eopts.deadline = limits.deadline;
+  eopts.conflict_budget = limits.conflict_budget;
+  eopts.cancel = limits.cancel;
   eopts.projection = projection_;
   eopts.store_models = store_models;
   eopts.formula_vars = cnf_.num_vars();

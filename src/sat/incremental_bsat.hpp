@@ -43,6 +43,16 @@
 
 namespace unigen {
 
+/// Resource envelope of one BSAT probe (one enumerate_cell call): the
+/// wall-clock deadline the paper uses, plus the deterministic conflict cap
+/// and the cancellation flag the anytime layer adds.  Built from a request
+/// Budget by the counting/sampling algorithms; plain value type.
+struct ProbeLimits {
+  Deadline deadline = Deadline::never();
+  std::uint64_t conflict_budget = 0;  ///< per solver call; 0 = none
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 struct IncrementalBsatOptions {
   /// Rebuild the persistent solver from scratch once this many hash rows
   /// have been retired.  Retired rows (and the learnts mentioning them)
@@ -86,6 +96,12 @@ class IncrementalBsat {
   /// clauses added during the call are retracted before returning.
   EnumerateResult enumerate_cell(std::size_t m, std::uint64_t max_models,
                                  const Deadline& deadline, bool store_models);
+  /// Same, under the full probe envelope (deadline + deterministic conflict
+  /// cap + cancellation).  All exits — exhausted, timed out, cancelled —
+  /// leave the engine in the same reusable state: the cell's blocks are
+  /// retracted unconditionally.
+  EnumerateResult enumerate_cell(std::size_t m, std::uint64_t max_models,
+                                 const ProbeLimits& limits, bool store_models);
 
   /// Cumulative statistics across rebuilds, including the engine counters
   /// solver_rebuilds / reused_solves / retracted_blocks.

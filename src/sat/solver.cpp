@@ -691,7 +691,8 @@ Var Solver::heap_pop() {
 
 lbool Solver::search(const std::vector<Lit>& assumptions,
                      std::uint64_t max_conflicts, const Deadline& deadline,
-                     std::uint64_t conflict_budget_end) {
+                     std::uint64_t conflict_budget_end,
+                     const std::atomic<bool>* interrupt) {
   std::uint64_t conflict_count = 0;
   std::vector<Lit> learnt;
   int btlevel = 0;
@@ -728,7 +729,10 @@ lbool Solver::search(const std::vector<Lit>& assumptions,
           conflict_count >= max_conflicts ||
           (conflict_budget_end != 0 && stats_.conflicts >= conflict_budget_end);
       const bool out_of_time =
-          (conflict_count & 63u) == 0 && deadline.expired();
+          (conflict_count & 63u) == 0 &&
+          (deadline.expired() ||
+           (interrupt != nullptr &&
+            interrupt->load(std::memory_order_acquire)));
       if (out_of_conflicts || out_of_time) {
         cancel_until(0);
         return lbool::Undef;
@@ -769,7 +773,8 @@ lbool Solver::solve(const std::vector<Lit>& assumptions) {
 
 lbool Solver::solve_limited(const std::vector<Lit>& assumptions,
                             const Deadline& deadline,
-                            std::uint64_t conflict_budget) {
+                            std::uint64_t conflict_budget,
+                            const std::atomic<bool>* interrupt) {
   if (!ok_) return lbool::False;
   cancel_until(0);
   if (propagate() != nullptr) {
@@ -796,10 +801,12 @@ lbool Solver::solve_limited(const std::vector<Lit>& assumptions,
   int restarts = 0;
   for (;;) {
     if (deadline.expired()) break;
+    if (interrupt != nullptr && interrupt->load(std::memory_order_acquire))
+      break;
     if (conflict_end != 0 && stats_.conflicts >= conflict_end) break;
     const auto max_c = static_cast<std::uint64_t>(
         luby(2.0, restarts) * options_.restart_base);
-    status = search(assumptions, max_c, deadline, conflict_end);
+    status = search(assumptions, max_c, deadline, conflict_end, interrupt);
     ++restarts;
     ++stats_.restarts;
     if (status != lbool::Undef) break;

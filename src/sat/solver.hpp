@@ -19,6 +19,7 @@
 //   * level-0 Gaussian elimination over the XOR system (gaussian.cpp),
 //   * conflict budgets and wall-clock deadlines (returns Undef on limit).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -122,9 +123,17 @@ class Solver {
   /// Returns True (model available), False (UNSAT under assumptions), or
   /// Undef (budget exhausted).
   lbool solve(const std::vector<Lit>& assumptions = {});
+  /// `interrupt`, when non-null, is a cooperative cancellation flag (a
+  /// CancelToken's raw atomic, passed raw so this layer stays free of
+  /// service dependencies): it is polled at the same every-64-conflicts
+  /// cadence as the deadline, and a tripped flag makes the call return
+  /// Undef with the trail unwound to level 0 — indistinguishable from a
+  /// budget stop as far as solver state is concerned, so the solver stays
+  /// fully reusable.
   lbool solve_limited(const std::vector<Lit>& assumptions,
                       const Deadline& deadline,
-                      std::uint64_t conflict_budget = 0);
+                      std::uint64_t conflict_budget = 0,
+                      const std::atomic<bool>* interrupt = nullptr);
 
   /// Model of the last successful solve() (total assignment).
   const Model& model() const { return model_; }
@@ -210,7 +219,8 @@ class Solver {
 
   // --- core search ---
   lbool search(const std::vector<Lit>& assumptions, std::uint64_t max_conflicts,
-               const Deadline& deadline, std::uint64_t conflict_budget);
+               const Deadline& deadline, std::uint64_t conflict_budget,
+               const std::atomic<bool>* interrupt);
   bool enqueue(Lit p, Reason from);
   Clause* propagate();
   Clause* propagate_xors(Lit p);

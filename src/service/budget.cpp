@@ -1,0 +1,21 @@
+#include "service/budget.hpp"
+
+namespace unigen {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kComplete:
+      return "complete";
+    case RequestStatus::kPartial:
+      return "partial";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kTimedOut:
+      return "timed_out";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace unigen

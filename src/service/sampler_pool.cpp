@@ -6,14 +6,21 @@
 
 namespace unigen {
 
-// What one fan-out is about: the request kind and the preallocated result
-// slots.  The thread/cursor machinery lives in WorkerPool.
+// What one fan-out is about: the request kind, the preallocated result
+// slots, and the call's effective options (the per-call budget lives in
+// options->budget).  The thread/cursor machinery lives in WorkerPool.
 struct SamplerPool::Job {
   enum class Kind { kSingles, kBatches };
   Kind kind = Kind::kSingles;
   std::size_t max_batch = 0;
+  const UniGenOptions* options = nullptr;
+  std::uint64_t first_stream = 0;
   std::vector<SampleResult>* singles = nullptr;
   std::vector<BatchResult>* batches = nullptr;
+  /// served[k] == 1 iff request k actually ran (a budget cut can leave a
+  /// slot untouched; finish_job stamps those with their honest status).
+  /// Each slot is written by exactly one worker, read after quiescence.
+  std::vector<char> served;
 };
 
 SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
@@ -52,32 +59,56 @@ bool SamplerPool::prepare() {
 
 void SamplerPool::serve(IncrementalBsat& engine, std::size_t worker, Job& job,
                         std::size_t k, Rng& rng) {
+  // Call-level cuts are observed between requests: a request that has not
+  // started when the deadline or token fires stays unserved, and
+  // finish_job stamps its honest status after the pool quiesces.
+  const Budget& budget = job.options->budget;
+  if (budget.cancelled() || budget.wall_expired()) return;
   // Workers solve the formula prepare() simplified (prep_ owns it and
   // outlives every engine); accept_cell reconstructs the witnesses, so the
   // service output is over the original formula's variables either way.
-  bool timed_out = false;
-  std::vector<Model> cell = unigen_accept_cell(
-      engine, sampling_set_, prep_, options_.unigen, cnf_.num_vars(), rng,
-      worker_ugstats_[worker], timed_out);
+  // The fault key is the request's *stream* index — a pure function of the
+  // submission order, so a plan hits the same request at every thread
+  // count.
+  AcceptCellResult r = unigen_accept_cell(
+      engine, sampling_set_, prep_, *job.options, cnf_.num_vars(), rng,
+      worker_ugstats_[worker], /*fault_key=*/job.first_stream + k);
+  job.served[k] = 1;
   if (job.kind == Job::Kind::kSingles) {
     SampleResult& out = (*job.singles)[k];
-    if (timed_out)
-      out = SampleResult::timeout();
-    else if (cell.empty())
-      out = SampleResult::failure();
-    else
-      out = SampleResult::success(std::move(cell[rng.below(cell.size())]));
+    switch (r.status) {
+      case RequestStatus::kComplete:
+        out = SampleResult::success(
+            std::move(r.cell[rng.below(r.cell.size())]));
+        break;
+      case RequestStatus::kCancelled:
+        out = SampleResult::cancelled();
+        break;
+      case RequestStatus::kTimedOut:
+        out = SampleResult::timeout();
+        break;
+      default:
+        out = SampleResult::failure();  // ⊥
+        break;
+    }
   } else {
     BatchResult& out = (*job.batches)[k];
-    if (timed_out) {
-      out.status = SampleResult::Status::kTimeout;
-    } else if (cell.empty()) {
-      out.status = SampleResult::Status::kFail;
-    } else {
-      rng.shuffle(cell);
-      if (cell.size() > job.max_batch) cell.resize(job.max_batch);
-      out.status = SampleResult::Status::kOk;
-      out.models = std::move(cell);
+    switch (r.status) {
+      case RequestStatus::kComplete:
+        rng.shuffle(r.cell);
+        if (r.cell.size() > job.max_batch) r.cell.resize(job.max_batch);
+        out.status = SampleResult::Status::kOk;
+        out.models = std::move(r.cell);
+        break;
+      case RequestStatus::kCancelled:
+        out.status = SampleResult::Status::kCancelled;
+        break;
+      case RequestStatus::kTimedOut:
+        out.status = SampleResult::Status::kTimeout;
+        break;
+      default:
+        out.status = SampleResult::Status::kFail;
+        break;
     }
   }
 }
@@ -126,61 +157,123 @@ void SamplerPool::account(SampleResult::Status status) {
     case SampleResult::Status::kTimeout:
       ++timed_out_;
       break;
+    case SampleResult::Status::kCancelled:
+      ++cancelled_;
+      break;
     case SampleResult::Status::kUnsat:
       break;
   }
 }
 
-std::vector<SampleResult> SamplerPool::sample_many(std::size_t count) {
-  if (count == 0) return {};
-  prepare();
-  const Stopwatch watch;
-  const std::uint64_t first_stream = next_stream_;
-  next_stream_ += count;  // streams are consumed whatever the mode
-  std::vector<SampleResult> results(count);
-  if (prep_.mode == UniGenPrepared::Mode::kHashed) {
-    Job job;
-    job.kind = Job::Kind::kSingles;
-    job.singles = &results;
-    pool_.run(count, first_stream,
-              [this, &job](IncrementalBsat& engine, std::size_t worker,
-                           std::size_t k, Rng& rng) {
-                serve(engine, worker, job, k, rng);
-              });
-  } else {
-    for (std::size_t k = 0; k < count; ++k)
-      results[k] = inline_single(first_stream + k);
+RequestStatus SamplerPool::finish_job(const Budget& budget, Job& job) {
+  // After quiescence, on the dispatcher thread.  A token that fired at any
+  // point during the call makes the whole call kCancelled (the token
+  // cannot un-trip mid-call), so unserved slots are cancellations; with no
+  // token the only thing that leaves a slot unserved is the wall deadline.
+  const bool cancelled = budget.cancelled();
+  std::size_t unserved = 0;
+  for (std::size_t k = 0; k < job.served.size(); ++k) {
+    if (job.served[k]) continue;
+    ++unserved;
+    if (job.kind == Job::Kind::kSingles)
+      (*job.singles)[k] =
+          cancelled ? SampleResult::cancelled() : SampleResult::timeout();
+    else
+      (*job.batches)[k].status = cancelled
+                                     ? SampleResult::Status::kCancelled
+                                     : SampleResult::Status::kTimeout;
   }
-  for (const SampleResult& r : results) account(r.status);
-  service_seconds_ += watch.seconds();
-  return results;
+  if (cancelled) return RequestStatus::kCancelled;
+  if (unserved == job.served.size() && unserved > 0)
+    return RequestStatus::kTimedOut;
+  if (unserved > 0) return RequestStatus::kPartial;
+  return RequestStatus::kComplete;
+}
+
+std::vector<SampleResult> SamplerPool::sample_many(std::size_t count) {
+  return sample_many_within(count, options_.unigen.budget).samples;
 }
 
 std::vector<BatchResult> SamplerPool::sample_batches(std::size_t requests,
                                                      std::size_t max_batch) {
-  if (requests == 0 || max_batch == 0) return {};
+  return sample_batches_within(requests, max_batch, options_.unigen.budget)
+      .batches;
+}
+
+SampleManyResult SamplerPool::sample_many_within(std::size_t count,
+                                                 const Budget& budget) {
+  SampleManyResult out;
+  if (count == 0) return out;
+  prepare();
+  const Stopwatch watch;
+  const std::uint64_t first_stream = next_stream_;
+  next_stream_ += count;  // streams are consumed whatever the outcome
+  out.samples.resize(count);
+  UniGenOptions opts = options_.unigen;
+  opts.budget = budget;
+  Job job;
+  job.kind = Job::Kind::kSingles;
+  job.options = &opts;
+  job.first_stream = first_stream;
+  job.singles = &out.samples;
+  job.served.assign(count, 0);
+  if (prep_.mode == UniGenPrepared::Mode::kHashed) {
+    pool_.run(count, first_stream,
+              [this, &job](IncrementalBsat& engine, std::size_t worker,
+                           std::size_t k, Rng& rng) {
+                serve(engine, worker, job, k, rng);
+              },
+              budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
+  } else {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (budget.cancelled() || budget.wall_expired()) break;
+      out.samples[k] = inline_single(first_stream + k);
+      job.served[k] = 1;
+    }
+  }
+  out.status = finish_job(budget, job);
+  for (const SampleResult& r : out.samples) account(r.status);
+  service_seconds_ += watch.seconds();
+  return out;
+}
+
+SampleBatchesResult SamplerPool::sample_batches_within(std::size_t requests,
+                                                       std::size_t max_batch,
+                                                       const Budget& budget) {
+  SampleBatchesResult out;
+  if (requests == 0 || max_batch == 0) return out;
   prepare();
   const Stopwatch watch;
   const std::uint64_t first_stream = next_stream_;
   next_stream_ += requests;
-  std::vector<BatchResult> results(requests);
+  out.batches.resize(requests);
+  UniGenOptions opts = options_.unigen;
+  opts.budget = budget;
+  Job job;
+  job.kind = Job::Kind::kBatches;
+  job.max_batch = max_batch;
+  job.options = &opts;
+  job.first_stream = first_stream;
+  job.batches = &out.batches;
+  job.served.assign(requests, 0);
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
-    Job job;
-    job.kind = Job::Kind::kBatches;
-    job.max_batch = max_batch;
-    job.batches = &results;
     pool_.run(requests, first_stream,
               [this, &job](IncrementalBsat& engine, std::size_t worker,
                            std::size_t k, Rng& rng) {
                 serve(engine, worker, job, k, rng);
-              });
+              },
+              budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
   } else {
-    for (std::size_t k = 0; k < requests; ++k)
-      results[k] = inline_batch(first_stream + k, max_batch);
+    for (std::size_t k = 0; k < requests; ++k) {
+      if (budget.cancelled() || budget.wall_expired()) break;
+      out.batches[k] = inline_batch(first_stream + k, max_batch);
+      job.served[k] = 1;
+    }
   }
-  for (const BatchResult& r : results) account(r.status);
+  out.status = finish_job(budget, job);
+  for (const BatchResult& r : out.batches) account(r.status);
   service_seconds_ += watch.seconds();
-  return results;
+  return out;
 }
 
 SamplerPoolStats SamplerPool::stats() const {
@@ -190,6 +283,7 @@ SamplerPoolStats SamplerPool::stats() const {
   out.samples_ok = ok_;
   out.samples_failed = failed_;
   out.samples_timed_out = timed_out_;
+  out.samples_cancelled = cancelled_;
   out.service_seconds = service_seconds_;
   out.workers.reserve(pool_.num_threads());
   for (std::size_t w = 0; w < pool_.num_threads(); ++w) {

@@ -57,6 +57,7 @@
 #include "cnf/cnf.hpp"
 #include "core/sampler.hpp"
 #include "core/unigen.hpp"
+#include "service/budget.hpp"
 #include "service/worker_pool.hpp"
 #include "util/rng.hpp"
 
@@ -74,14 +75,38 @@ struct SamplerPoolOptions {
   UniGenOptions unigen;
 };
 
-/// Outcome of one batched request (one accepted cell), with timeout kept
-/// distinct from ⊥ — the vector<Model>-only shape of UniGen::sample_batch
-/// cannot tell the two apart.
+/// Outcome of one batched request (one accepted cell), with timeout,
+/// cancellation and ⊥ kept distinct — the vector<Model>-only shape of
+/// UniGen::sample_batch cannot tell them apart.
 struct BatchResult {
   SampleResult::Status status = SampleResult::Status::kFail;
   std::vector<Model> models;
 
   bool ok() const { return status == SampleResult::Status::kOk; }
+};
+
+/// One anytime service call: per-request outcomes plus the call-level
+/// verdict.  `status` summarizes honestly what happened to the batch as a
+/// whole:
+///   kComplete  — every request ran to its own conclusion (individual
+///                requests may still be kFail/⊥ or kTimeout on their own
+///                per-request budgets; that is the algorithm's contract,
+///                not a service failure);
+///   kPartial   — the call-level wall deadline cut the fan-out: some
+///                requests were served, the rest report kTimeout untouched;
+///   kTimedOut  — the deadline cut before any request was served;
+///   kCancelled — the cancellation token fired; unserved requests report
+///                kCancelled.
+/// Slots are always `count`-sized and in request order — unserved slots
+/// hold an honest terminal status, never a default-constructed lie.
+struct SampleManyResult {
+  RequestStatus status = RequestStatus::kComplete;
+  std::vector<SampleResult> samples;
+};
+
+struct SampleBatchesResult {
+  RequestStatus status = RequestStatus::kComplete;
+  std::vector<BatchResult> batches;
 };
 
 struct SamplerPoolWorkerStats {
@@ -106,6 +131,7 @@ struct SamplerPoolStats {
   std::uint64_t samples_ok = 0;
   std::uint64_t samples_failed = 0;
   std::uint64_t samples_timed_out = 0;
+  std::uint64_t samples_cancelled = 0;
   /// Wall-clock spent inside sample_many/sample_batches (dispatcher view).
   double service_seconds = 0.0;
   std::vector<SamplerPoolWorkerStats> workers;
@@ -133,13 +159,28 @@ class SamplerPool {
   /// Draws `count` independent witnesses — request k is one full run of
   /// lines 12–22 on stream k.  Trivial/UNSAT instances are served inline
   /// (an array lookup needs no fan-out); hashed instances fan out across
-  /// the workers.
+  /// the workers.  Runs under options.unigen.budget.
   std::vector<SampleResult> sample_many(std::size_t count);
 
   /// UniGen2-style batches: each request accepts one hash cell and returns
   /// up to `max_batch` distinct witnesses from it.
   std::vector<BatchResult> sample_batches(std::size_t requests,
                                           std::size_t max_batch);
+
+  /// Anytime variants: `budget` replaces options.unigen.budget for this
+  /// one call.  Its deadline and cancellation token are call-level (a cut
+  /// stops starting new requests and interrupts in-flight solves; served
+  /// and unserved slots are reported per the SampleManyResult contract);
+  /// max_bsat_calls / conflicts_per_call / fault apply *per request*, so
+  /// each served request's outcome stays a pure function of its stream —
+  /// byte-identical across thread counts.  After a cancelled call the pool
+  /// is immediately reusable: streams keep advancing by `count` whatever
+  /// happened, so a follow-up call sees exactly the streams it would have
+  /// on a pool whose earlier calls all completed.
+  SampleManyResult sample_many_within(std::size_t count, const Budget& budget);
+  SampleBatchesResult sample_batches_within(std::size_t requests,
+                                            std::size_t max_batch,
+                                            const Budget& budget);
 
   std::size_t num_threads() const { return pool_.num_threads(); }
   /// Valid after prepare().
@@ -158,6 +199,9 @@ class SamplerPool {
   SampleResult inline_single(std::uint64_t stream);
   BatchResult inline_batch(std::uint64_t stream, std::size_t max_batch);
   void account(SampleResult::Status status);
+  /// Shared tail of the anytime calls: stamps honest statuses onto the
+  /// slots the fan-out never served and derives the call-level verdict.
+  RequestStatus finish_job(const Budget& budget, Job& job);
 
   Cnf cnf_;
   std::vector<Var> sampling_set_;
@@ -173,6 +217,7 @@ class SamplerPool {
   std::uint64_t ok_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t timed_out_ = 0;
+  std::uint64_t cancelled_ = 0;
   double service_seconds_ = 0.0;
 
   /// Threads, engines and keyed streams; started by prepare() in hashed

@@ -12,8 +12,10 @@ struct WorkerPool::Job {
   std::size_t count = 0;
   std::uint64_t first_stream = 0;  ///< rng stream of task 0
   const TaskFn* fn = nullptr;
+  const std::atomic<bool>* cancel = nullptr;  ///< skip fn once tripped
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> executed{0};  ///< tasks whose fn actually ran
   std::size_t active = 0;  // guarded by WorkerPool::mu_
 };
 
@@ -62,14 +64,23 @@ void WorkerPool::worker_main(std::size_t worker_index) {
     for (;;) {
       const std::size_t k = job->next.fetch_add(1, std::memory_order_relaxed);
       if (k >= job->count) break;
-      if (!worker.engine)
-        worker.engine =
-            std::make_unique<IncrementalBsat>(*formula_, projection_);
-      // All randomness of task k comes from its keyed stream — identical no
-      // matter which worker runs this.
-      Rng rng = base_rng_.fork_stream(job->first_stream + k);
-      (*job->fn)(*worker.engine, worker_index, k, rng);
-      ++worker.served;
+      // Cooperative cancellation: a tripped token turns the remaining
+      // tasks into no-ops, but they are still pulled and counted done —
+      // run() keeps its "every task accounted for" exit condition and the
+      // job drains fast instead of wedging.
+      const bool skip = job->cancel != nullptr &&
+                        job->cancel->load(std::memory_order_acquire);
+      if (!skip) {
+        if (!worker.engine)
+          worker.engine =
+              std::make_unique<IncrementalBsat>(*formula_, projection_);
+        // All randomness of task k comes from its keyed stream — identical
+        // no matter which worker runs this.
+        Rng rng = base_rng_.fork_stream(job->first_stream + k);
+        (*job->fn)(*worker.engine, worker_index, k, rng);
+        ++worker.served;
+        job->executed.fetch_add(1, std::memory_order_relaxed);
+      }
       job->done.fetch_add(1, std::memory_order_acq_rel);
     }
     {
@@ -80,13 +91,15 @@ void WorkerPool::worker_main(std::size_t worker_index) {
   }
 }
 
-void WorkerPool::run(std::size_t count, std::uint64_t first_stream,
-                     const TaskFn& fn) {
-  if (count == 0) return;
+std::size_t WorkerPool::run(std::size_t count, std::uint64_t first_stream,
+                            const TaskFn& fn,
+                            const std::atomic<bool>* cancel) {
+  if (count == 0) return 0;
   Job job;
   job.count = count;
   job.first_stream = first_stream;
   job.fn = &fn;
+  job.cancel = cancel;
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
@@ -101,6 +114,7 @@ void WorkerPool::run(std::size_t count, std::uint64_t first_stream,
   // Cleared under the lock: a worker waking late sees job_ == nullptr and
   // goes back to sleep instead of touching the dead job.
   job_ = nullptr;
+  return job.executed.load(std::memory_order_relaxed);
 }
 
 SolverStats WorkerPool::engine_stats(std::size_t w) const {

@@ -76,9 +76,22 @@ class WorkerPool {
 
   /// Fans `count` tasks across the workers; task k runs
   /// fn(engine, worker, k, base_rng.fork_stream(first_stream + k)).
-  /// Synchronous: on return every task ran and every worker quiesced.
-  /// Requires start().
-  void run(std::size_t count, std::uint64_t first_stream, const TaskFn& fn);
+  /// Synchronous: on return every task is accounted for and every worker
+  /// has quiesced.  Requires start().
+  ///
+  /// `cancel` (a CancelToken's raw atomic; null = not cancellable) is the
+  /// pool-level cancellation seam: once it trips, workers keep pulling
+  /// the remaining tasks but skip `fn` and mark them done — the job drains
+  /// at memory speed, run() still returns normally, and the pool is
+  /// immediately reusable for the next run (nothing about a job outlives
+  /// it; task streams are keyed per-run, so a cancelled run pollutes no
+  /// later one).  The task *currently inside* fn is interrupted at the
+  /// solver's periodic conflict check only if fn threads the same flag
+  /// into its solver calls (the Budget plumbing does).  Returns the number
+  /// of tasks whose fn actually ran — == count iff no cancellation fired.
+  std::size_t run(std::size_t count, std::uint64_t first_stream,
+                  const TaskFn& fn,
+                  const std::atomic<bool>* cancel = nullptr);
 
   /// The keyed-stream primitive, exposed so the owning service can serve
   /// inline fast paths (trivial mode) from the same stream space.

@@ -16,7 +16,12 @@
 //      suite uses, so a pass is deterministic per seed);
 //   4. simplify-on vs. simplify-off ApproxMC byte-equality (count safety);
 //   5. serial vs. parallel (2-thread) ApproxMC byte-equality (the
-//      scheduling-independence contract).
+//      scheduling-independence contract);
+//   6. the anytime contract under a seed-derived deterministic budget and
+//      injected fault plan: statuses are honest (a Partial estimate comes
+//      from completed iterations only, with the achieved-δ label), and
+//      cutting the run mid-grant then resuming with the remainder is
+//      byte-identical to the uninterrupted run.
 //
 // Exit code 0 when every seed passes; on the first failure it prints a
 // one-line repro (`fuzz_cnf <seed>` / `fuzz_cnf.py --repro <seed>`) plus
@@ -36,7 +41,9 @@
 
 #include "counting/approxmc.hpp"
 #include "counting/exact_counter.hpp"
+#include "fault_inject.hpp"
 #include "helpers.hpp"
+#include "service/budget.hpp"
 
 namespace {
 
@@ -143,6 +150,89 @@ std::optional<Failure> run_seed(std::uint64_t seed) {
                "parallel=(%d,%d,%" PRIu64 ",%u)",
                a.valid, a.exact, a.cell_count, a.hash_count, b.valid,
                b.exact, b.cell_count, b.hash_count);
+  }
+
+  // 6. Anytime under deterministic budgets and injected faults.  The fault
+  //    plan is pure in (seed, key, call), so a fresh same-seed injector
+  //    replays identically across the reference, cut and resume runs.
+  {
+    const double rate = 0.08 * static_cast<double>((seed >> 3) % 3);
+    ApproxMcOptions any = amc;
+    SeededRateFaults ref_faults(seed, rate);
+    any.budget.fault = &ref_faults;
+    Rng rng_ref(seed + 3);
+    const ApproxMcAnytime full = approx_count_anytime(cnf, any, rng_ref);
+    // Wall-free fault-only budget: every iteration reaches a deterministic
+    // end, so the run concludes — and the verdict must match the estimate.
+    FUZZ_CHECK(full.status == RequestStatus::kComplete ||
+                   full.status == RequestStatus::kFailed,
+               "anytime full run ended %s", to_string(full.status));
+    FUZZ_CHECK(full.result.valid ==
+                   (full.status == RequestStatus::kComplete),
+               "anytime verdict %s but valid=%d", to_string(full.status),
+               full.result.valid);
+    if (full.result.valid && !full.result.exact) {
+      FUZZ_CHECK(full.achieved_delta == approxmc_delta_achieved(
+                                            full.result.iterations_succeeded),
+                 "achieved_delta %.6f inconsistent with %d estimates",
+                 full.achieved_delta, full.result.iterations_succeeded);
+    }
+
+    const std::uint64_t total = full.result.bsat_calls;
+    if (total > 1) {
+      const std::uint64_t first = 1 + (seed % (total - 1));  // in [1, total)
+      SeededRateFaults cut_faults(seed, rate);
+      ApproxMcOptions cut_opts = amc;
+      cut_opts.budget.fault = &cut_faults;
+      cut_opts.budget.max_bsat_calls = first;
+      Rng rng_cut(seed + 3);
+      const ApproxMcAnytime cut = approx_count_anytime(cnf, cut_opts, rng_cut);
+      FUZZ_CHECK(cut.status != RequestStatus::kComplete &&
+                     cut.status != RequestStatus::kFailed,
+                 "cut at %" PRIu64 "/%" PRIu64 " units still concluded (%s)",
+                 first, total, to_string(cut.status));
+      if (cut.status == RequestStatus::kPartial) {
+        FUZZ_CHECK(cut.result.valid, "kPartial without an estimate");
+        FUZZ_CHECK(cut.achieved_delta == approxmc_delta_achieved(
+                                             cut.result.iterations_succeeded),
+                   "partial achieved_delta %.6f vs %d estimates",
+                   cut.achieved_delta, cut.result.iterations_succeeded);
+      } else {
+        FUZZ_CHECK(!cut.result.valid && cut.result.timed_out,
+                   "%s but valid=%d timed_out=%d", to_string(cut.status),
+                   cut.result.valid, cut.result.timed_out);
+      }
+      // A partial estimate is built from completed iterations only:
+      // unsettled slots must not have contributed any work to the result.
+      for (std::size_t i = 0; i < cut.state.outcomes.size(); ++i) {
+        FUZZ_CHECK(cut.state.settled[i] || cut.state.outcomes[i].bsat_calls == 0,
+                   "unsettled iteration %zu carries work", i);
+      }
+
+      SeededRateFaults resume_faults(seed, rate);
+      Budget more;
+      more.max_bsat_calls = total - first;
+      more.fault = &resume_faults;
+      const ApproxMcAnytime resumed =
+          approx_count_resume(cnf, cut.state, more);
+      FUZZ_CHECK(resumed.status == full.status &&
+                     resumed.result.valid == full.result.valid &&
+                     resumed.result.exact == full.result.exact &&
+                     resumed.result.cell_count == full.result.cell_count &&
+                     resumed.result.hash_count == full.result.hash_count &&
+                     resumed.result.bsat_calls == full.result.bsat_calls &&
+                     resumed.result.iterations_succeeded ==
+                         full.result.iterations_succeeded &&
+                     resumed.achieved_delta == full.achieved_delta,
+                 "cut@%" PRIu64 "+resume != uninterrupted: "
+                 "(%s,%d,%" PRIu64 ",%u,%" PRIu64 ") vs "
+                 "(%s,%d,%" PRIu64 ",%u,%" PRIu64 ")",
+                 first, to_string(resumed.status), resumed.result.valid,
+                 resumed.result.cell_count, resumed.result.hash_count,
+                 resumed.result.bsat_calls, to_string(full.status),
+                 full.result.valid, full.result.cell_count,
+                 full.result.hash_count, full.result.bsat_calls);
+    }
   }
 
   return std::nullopt;

@@ -100,7 +100,7 @@ TEST(ApproxMc, DeadlineTimeoutReported) {
   Rng rng(6);
   Cnf cnf(30);  // 2^30 free-variable models force the hashed path
   ApproxMcOptions opts;
-  opts.deadline = Deadline::in_seconds(0.0);
+  opts.budget.deadline = Deadline::in_seconds(0.0);
   const auto r = approx_count(cnf, opts, rng);
   EXPECT_FALSE(r.valid);
   EXPECT_TRUE(r.timed_out);

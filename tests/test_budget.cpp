@@ -1,0 +1,228 @@
+// Unit tests of the anytime/robustness primitives: Budget, CancelToken,
+// RequestStatus, the deterministic fault injectors, the leapfrog
+// publication rule, the achieved-δ math, and WorkerPool's cooperative
+// cancellation (drain + reuse).
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+#include "cnf/cnf.hpp"
+#include "counting/approxmc.hpp"
+#include "counting/approxmc_core.hpp"
+#include "fault_inject.hpp"
+#include "service/budget.hpp"
+#include "service/worker_pool.hpp"
+#include "util/rng.hpp"
+
+namespace unigen {
+namespace {
+
+TEST(RequestStatusTest, ToStringCoversEveryStatus) {
+  EXPECT_STREQ(to_string(RequestStatus::kComplete), "complete");
+  EXPECT_STREQ(to_string(RequestStatus::kPartial), "partial");
+  EXPECT_STREQ(to_string(RequestStatus::kFailed), "failed");
+  EXPECT_STREQ(to_string(RequestStatus::kTimedOut), "timed_out");
+  EXPECT_STREQ(to_string(RequestStatus::kCancelled), "cancelled");
+}
+
+TEST(CancelTokenTest, TripObserveReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.flag()->load());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(BudgetTest, DefaultIsUnlimitedAndWallFree) {
+  const Budget b = Budget::unlimited();
+  EXPECT_FALSE(b.cancelled());
+  EXPECT_FALSE(b.wall_expired());
+  EXPECT_FALSE(b.deterministic_units());
+  EXPECT_TRUE(b.wall_free());
+  EXPECT_FALSE(b.fault_fires(0, 0));
+}
+
+TEST(BudgetTest, DeterministicModeFlags) {
+  Budget b;
+  b.max_bsat_calls = 5;
+  EXPECT_TRUE(b.deterministic_units());
+  Budget c;
+  ScheduledFaults faults;
+  c.fault = &faults;
+  EXPECT_TRUE(c.deterministic_units());
+  Budget d;
+  d.conflicts_per_call = 100;
+  EXPECT_FALSE(d.deterministic_units());  // schedule-dependent on pools
+  EXPECT_TRUE(d.wall_free());
+}
+
+TEST(BudgetTest, WallClocksBreakWallFree) {
+  EXPECT_FALSE(Budget::within_seconds(10.0).wall_free());
+  Budget b;
+  b.bsat_timeout_s = 1.0;
+  EXPECT_FALSE(b.wall_free());
+  EXPECT_TRUE(Budget::within_seconds(0.0).wall_expired());
+}
+
+TEST(BudgetTest, PerCallDeadlineCapsByTimeout) {
+  Budget b = Budget::within_seconds(1000.0);
+  b.bsat_timeout_s = 0.001;
+  // The per-call deadline is the nearer of the two clocks.
+  EXPECT_LE(b.per_call_deadline().remaining_seconds(), 0.001 + 1e-6);
+  Budget c = Budget::within_seconds(1000.0);
+  EXPECT_GT(c.per_call_deadline().remaining_seconds(), 100.0);
+}
+
+TEST(ScheduledFaultsTest, FiresExactlyOnPlan) {
+  ScheduledFaults faults{{2, 0}, {2, 1}, {5, 3}};
+  EXPECT_EQ(faults.planned(), 3u);
+  EXPECT_FALSE(faults.inject_timeout(0, 0));
+  EXPECT_TRUE(faults.inject_timeout(2, 0));
+  EXPECT_TRUE(faults.inject_timeout(2, 1));
+  EXPECT_FALSE(faults.inject_timeout(2, 2));
+  EXPECT_TRUE(faults.inject_timeout(5, 3));
+  EXPECT_EQ(faults.fired(), 3u);
+}
+
+TEST(SeededRateFaultsTest, DeterministicInSeedKeyCall) {
+  SeededRateFaults a(42, 0.5);
+  SeededRateFaults b(42, 0.5);
+  int fired = 0;
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    for (std::uint64_t call = 0; call < 32; ++call) {
+      EXPECT_EQ(a.would_fire(key, call), b.would_fire(key, call));
+      if (a.inject_timeout(key, call)) ++fired;
+    }
+  }
+  EXPECT_EQ(a.fired(), static_cast<std::uint64_t>(fired));
+  // Rate 0.5 over 256 draws: wildly loose bounds, just not degenerate.
+  EXPECT_GT(fired, 32);
+  EXPECT_LT(fired, 224);
+  SeededRateFaults never(42, 0.0);
+  SeededRateFaults always(42, 1.0);
+  EXPECT_FALSE(never.would_fire(3, 3));
+  EXPECT_TRUE(always.would_fire(3, 3));
+}
+
+TEST(CancelAfterProbesTest, TripsOnceAtTheScheduledProbe) {
+  CancelToken token;
+  CancelAfterProbes trip(token, 3);
+  EXPECT_FALSE(trip.inject_timeout(0, 0));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(trip.inject_timeout(0, 1));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(trip.inject_timeout(1, 0));  // third inspection trips
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_FALSE(trip.inject_timeout(1, 1));  // never injects a timeout
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(LeapfrogPublishTest, OnlyCompletedIterationsPublish) {
+  ApproxMcCoreOutcome ok;
+  ok.ok = true;
+  ok.hash_count = 7;
+  ok.bsat_calls = 3;
+  const auto m = leapfrog_publish(ok);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 7u);
+
+  // A cut iteration — timeout, injected fault, or cancellation — must not
+  // seed later searches with the m its aborted search happened to stand at.
+  ApproxMcCoreOutcome timed;
+  timed.timed_out = true;
+  timed.hash_count = 9;
+  timed.bsat_calls = 2;
+  EXPECT_FALSE(leapfrog_publish(timed).has_value());
+
+  ApproxMcCoreOutcome faulted = timed;
+  faulted.faulted = true;
+  EXPECT_FALSE(leapfrog_publish(faulted).has_value());
+
+  ApproxMcCoreOutcome cancelled;
+  cancelled.cancelled = true;
+  cancelled.hash_count = 4;
+  EXPECT_FALSE(leapfrog_publish(cancelled).has_value());
+
+  ApproxMcCoreOutcome barren;  // ran out of hash counts, no estimate
+  barren.bsat_calls = 5;
+  EXPECT_FALSE(leapfrog_publish(barren).has_value());
+}
+
+TEST(AchievedDeltaTest, MatchesTheBinomialMedianTail) {
+  // t <= 0: no estimates, no confidence.
+  EXPECT_EQ(approxmc_median_failure_tail(0), 1.0);
+  EXPECT_EQ(approxmc_median_failure_tail(-3), 1.0);
+  // t = 1: the median is the single iteration; it fails with 1-p = e^{-3/2}.
+  EXPECT_NEAR(approxmc_median_failure_tail(1), std::exp(-1.5), 1e-12);
+  // Monotone non-increasing over odd t, and delta_achieved is the same
+  // function (the honesty label of a Partial result).
+  double prev = 1.0;
+  for (int t = 1; t <= 41; t += 2) {
+    const double tail = approxmc_median_failure_tail(t);
+    EXPECT_LE(tail, prev);
+    EXPECT_EQ(approxmc_delta_achieved(t), tail);
+    prev = tail;
+  }
+  // approxmc_iteration_count returns the first odd t beating delta.
+  for (const double delta : {0.3, 0.2, 0.1, 0.05}) {
+    const int t = approxmc_iteration_count(delta);
+    EXPECT_EQ(t % 2, 1);
+    EXPECT_LE(approxmc_median_failure_tail(t), delta);
+    if (t > 2) {
+      EXPECT_GT(approxmc_median_failure_tail(t - 2), delta);
+    }
+  }
+}
+
+TEST(WorkerPoolCancelTest, PreTrippedTokenDrainsWithoutExecuting) {
+  Cnf cnf(4);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  WorkerPool pool(2, Rng(7));
+  pool.start(cnf, cnf.sampling_set_or_all());
+  CancelToken token;
+  token.cancel();
+  std::atomic<int> ran{0};
+  const std::size_t executed =
+      pool.run(16, 0,
+               [&](IncrementalBsat&, std::size_t, std::size_t, Rng&) {
+                 ran.fetch_add(1);
+               },
+               token.flag());
+  // Every task is accounted for (run returned), none executed.
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(WorkerPoolCancelTest, PoolIsReusableAfterCancel) {
+  Cnf cnf(4);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  WorkerPool pool(2, Rng(7));
+  pool.start(cnf, cnf.sampling_set_or_all());
+
+  CancelToken token;
+  std::atomic<int> ran{0};
+  // Trip the token from inside task 0: later tasks drain unexecuted.
+  pool.run(64, 0,
+           [&](IncrementalBsat&, std::size_t, std::size_t, Rng&) {
+             ran.fetch_add(1);
+             token.cancel();
+           },
+           token.flag());
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), 64);
+
+  // The same pool serves the next run completely.
+  std::atomic<int> second{0};
+  const std::size_t executed = pool.run(
+      8, 100,
+      [&](IncrementalBsat&, std::size_t, std::size_t, Rng&) {
+        second.fetch_add(1);
+      });
+  EXPECT_EQ(executed, 8u);
+  EXPECT_EQ(second.load(), 8);
+}
+
+}  // namespace
+}  // namespace unigen
