@@ -1,0 +1,119 @@
+#include "cnf/fingerprint.hpp"
+
+#include <algorithm>
+
+namespace unigen {
+namespace {
+
+/// splitmix64 finalizer — the same mixer rng.cpp seeds from; strong enough
+/// that summing mixed values over a multiset keeps 128 bits of spread.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Hash of one element (a sorted clause / XOR) for the commutative bags:
+/// chain the parts through mix64 so the element hash itself is
+/// order-sensitive in its contents, then the bag sums element hashes.
+struct ElementHasher {
+  std::uint64_t h = 0x243F6A8885A308D3ull;  // distinct from the seq seed
+  void feed(std::uint64_t v) { h = mix64(h ^ v); }
+};
+
+}  // namespace
+
+std::string Fingerprint::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+void FingerprintBuilder::add_scalar(std::uint64_t v) {
+  seq_ = mix64(seq_ ^ v);
+}
+
+void FingerprintBuilder::add_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  add_scalar(bits);
+}
+
+void FingerprintBuilder::add_clause(const std::vector<Lit>& clause) {
+  std::vector<Lit> sorted = clause;
+  std::sort(sorted.begin(), sorted.end());
+  ElementHasher eh;
+  eh.feed(0xC1A05Eull);  // domain tag: OR-clause
+  eh.feed(sorted.size());
+  for (Lit l : sorted) eh.feed(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(l.index())));
+  // Two independently re-mixed lanes: a multiset collision must defeat two
+  // unrelated sums simultaneously.
+  bag_lo_ += eh.h;
+  bag_hi_ += mix64(eh.h);
+  ++bag_count_;
+}
+
+void FingerprintBuilder::add_xor(const XorConstraint& x) {
+  std::vector<Var> sorted = x.vars;
+  std::sort(sorted.begin(), sorted.end());
+  ElementHasher eh;
+  eh.feed(0x0Full);  // domain tag: XOR constraint
+  eh.feed(x.rhs ? 1 : 0);
+  eh.feed(sorted.size());
+  for (Var v : sorted) eh.feed(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(v)));
+  bag_lo_ += eh.h;
+  bag_hi_ += mix64(eh.h);
+  ++bag_count_;
+}
+
+void FingerprintBuilder::add_ordered_clause(const std::vector<Lit>& clause) {
+  add_scalar(0x5EBull);  // framing tag: keeps [a][b,c] distinct from [a,b][c]
+  add_scalar(clause.size());
+  for (Lit l : clause)
+    add_scalar(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(l.index())));
+}
+
+Fingerprint FingerprintBuilder::digest() const {
+  // Fold the chain and the bags so that every accumulator influences both
+  // output words; re-mix per word with distinct tweaks.
+  const std::uint64_t a = seq_;
+  const std::uint64_t b = bag_lo_;
+  const std::uint64_t c = bag_hi_;
+  const std::uint64_t d = bag_count_;
+  Fingerprint f;
+  f.hi = mix64(a ^ mix64(b ^ mix64(d)));
+  f.lo = mix64(c ^ mix64(a + 0x1234567ull) ^ b);
+  return f;
+}
+
+void fold_cnf(FingerprintBuilder& fb, const Cnf& cnf) {
+  fb.add_scalar(static_cast<std::uint64_t>(cnf.num_vars()));
+  fb.add_scalar(cnf.num_clauses());
+  fb.add_scalar(cnf.num_xors());
+  for (const auto& c : cnf.clauses()) fb.add_clause(c);
+  for (const auto& x : cnf.xors()) fb.add_xor(x);
+  // The sampling set changes what counting and sampling *mean*; declared-
+  // as-full and undeclared hash identically on purpose (sampling_set_or_all
+  // is what every algorithm consumes).
+  const std::vector<Var> ss = cnf.sampling_set_or_all();
+  fb.add_scalar(ss.size());
+  for (Var v : ss)
+    fb.add_scalar(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+
+Fingerprint fingerprint_cnf(const Cnf& cnf) {
+  FingerprintBuilder fb;
+  fold_cnf(fb, cnf);
+  return fb.digest();
+}
+
+}  // namespace unigen

@@ -1,0 +1,97 @@
+#pragma once
+// Canonical formula fingerprints — the keying primitive of the session
+// server (service/session_registry.hpp).
+//
+// A serving system wants one prepared session per *formula*, not per
+// request, and the same formula arrives in many syntactic guises: clauses
+// in a different order, literals permuted within a clause, a different
+// DIMACS writer.  The fingerprint is therefore order-independent where
+// presentation can vary and order-sensitive where order is meaning:
+//
+//   * clauses and XOR constraints form an unordered multiset — each is
+//     hashed with its literals sorted, and the per-element hashes combine
+//     commutatively (wrapping sums over two independently mixed lanes, so
+//     duplicate clauses still count and a swapped pair cannot cancel the
+//     way XOR-folding would);
+//   * scalars that carry meaning in sequence (variable counts, the sorted
+//     sampling set, option values, the simplifier's reconstruction stack)
+//     fold order-sensitively into a running splitmix chain.
+//
+// Two formulas with equal fingerprints have the same clause multiset, the
+// same XOR multiset, the same variable space and the same sampling set —
+// hence the same model set and the same witness set, which is what makes a
+// fingerprint hit safe to serve from a cached session.  The 128-bit digest
+// makes accidental collision (~2^-64 per pair) a non-concern at any
+// realistic registry size; adversarial inputs are out of scope (this is a
+// cache key, not a MAC).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "cnf/types.hpp"
+
+namespace unigen {
+
+/// 128-bit digest; value type with equality, usable as a hash-map key via
+/// Fingerprint::Hash.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 32 hex digits, hi then lo — the stable spelling for logs and JSON.
+  std::string hex() const;
+
+  struct Hash {
+    std::size_t operator()(const Fingerprint& f) const noexcept {
+      // The lanes are already well mixed; fold them.
+      return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9E3779B97F4A7C15ull));
+    }
+  };
+};
+
+/// Incremental fingerprint accumulator.  add_clause/add_xor contribute to
+/// the commutative bags (call order irrelevant); add_scalar and
+/// add_ordered_clause extend the order-sensitive chain.  digest() may be
+/// called at any point and does not reset the builder.
+class FingerprintBuilder {
+ public:
+  /// Order-sensitive scalar fold (counts, options, framing tags).
+  void add_scalar(std::uint64_t v);
+  /// add_scalar on the raw bits of a double (options like epsilon; NaN
+  /// payloads are caller's problem — options are never NaN here).
+  void add_double(double v);
+
+  /// One OR-clause into the commutative clause bag; literal order within
+  /// the clause is canonicalized by sorting a copy.
+  void add_clause(const std::vector<Lit>& clause);
+  /// One XOR constraint into the commutative XOR bag (variables sorted).
+  void add_xor(const XorConstraint& x);
+
+  /// One clause into the order-sensitive chain (for sequences whose order
+  /// is meaning, e.g. the simplifier's reconstruction stack).
+  void add_ordered_clause(const std::vector<Lit>& clause);
+
+  Fingerprint digest() const;
+
+ private:
+  std::uint64_t seq_ = 0x14DAC14DAC14DACull;  // order-sensitive chain
+  std::uint64_t bag_lo_ = 0;                  // commutative lanes
+  std::uint64_t bag_hi_ = 0;
+  std::uint64_t bag_count_ = 0;
+};
+
+/// Fingerprint of a formula as presented: variable space, clause multiset,
+/// XOR multiset, and the (sorted) sampling set.  Order-independent across
+/// clauses/XORs and across literals within them; `cnf.name` is ignored
+/// (presentation, not meaning).
+Fingerprint fingerprint_cnf(const Cnf& cnf);
+
+/// Folds the same content into an existing builder (so a caller can chain
+/// formula + options + reconstruction data into one digest).
+void fold_cnf(FingerprintBuilder& fb, const Cnf& cnf);
+
+}  // namespace unigen

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hashing/xor_hash.hpp"
+#include "service/worker_pool.hpp"
 #include "util/timer.hpp"
 
 namespace unigen {
@@ -70,8 +71,14 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
         "unigen_prepare: sampling_set must equal the formula's "
         "sampling_set_or_all()");
   if (options.simplify.enabled) {
-    prep.simplifier = std::make_shared<const Simplifier>(cnf, options.simplify,
-                                                         sampling_set);
+    // A presimplified pipeline (the registry ran one to compute the session
+    // key) is adopted as-is — the pipeline is deterministic, so this is the
+    // same object a fresh run would produce, minus the second run.
+    prep.simplifier =
+        options.presimplified != nullptr
+            ? options.presimplified
+            : std::make_shared<const Simplifier>(cnf, options.simplify,
+                                                 sampling_set);
     stats.simplify = prep.simplifier->stats();
   }
   const Cnf& formula = prep.formula(cnf);
@@ -122,6 +129,16 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
     }
   }
 
+  // The counter→sampler warm handoff: the instance is hashed, so the
+  // embedding's pool (when it wired one through) starts *now* — worker 0
+  // adopting the easy-case engine — and the ApproxMC call below fans its
+  // iterations across those same workers.  Every engine the count builds
+  // and warms keeps serving samples for the pool's lifetime; nothing is
+  // discarded between the two phases.
+  WorkerPool* pool = options.shared_pool;
+  if (pool != nullptr)
+    pool->start(formula, sampling_set, std::move(engine));
+
   // Lines 9–10: C <- ApproxModelCounter(F, 0.8, 0.8);
   //             q <- ceil(log C + log 1.8 - log pivot)    (logs base 2).
   ApproxMcOptions amc;
@@ -136,9 +153,11 @@ std::unique_ptr<IncrementalBsat> unigen_prepare(
   amc.budget.cancel = options.budget.cancel;
   // 0 = "embedding decides"; for a caller that did not wire a pool through
   // (plain UniGen), that is the serial in-place path.  SamplerPool::prepare
-  // resolves 0 to its own width before calling here.
+  // resolves 0 to its own width before calling here.  With a shared pool
+  // the pool's width rules and num_threads is ignored.
   amc.num_threads =
       options.counter_threads == 0 ? 1 : options.counter_threads;
+  amc.shared_pool = pool;
   amc.simplify.enabled = false;  // `formula` is already simplified
   const ApproxMcResult count = approx_count(formula, amc, rng);
   stats.prepare_bsat_calls += count.bsat_calls;

@@ -36,6 +36,8 @@
 
 namespace unigen {
 
+class WorkerPool;  // service/worker_pool.hpp
+
 struct UniGenOptions {
   /// Tolerance ε (> 1.71).  The paper's experiments use 6.
   double epsilon = 6.0;
@@ -80,6 +82,25 @@ struct UniGenOptions {
   /// The default (unlimited, no token, no plan) reproduces the original
   /// behavior byte-for-byte.
   Budget budget;
+  /// Borrowed, *not yet started* WorkerPool the embedding will serve
+  /// samples from (SamplerPool wires its own pool through here).  When set
+  /// and the instance turns out hashed, unigen_prepare starts the pool
+  /// itself — worker 0 adopting the easy-case engine — and hands it to the
+  /// nested ApproxMC as ApproxMcOptions::shared_pool, so the one-time
+  /// count warms the very engines that will serve samples: one solver
+  /// build per worker across both phases instead of a counting pool built
+  /// and discarded.  Sample bytes are unchanged (canonical cell ordering
+  /// makes them independent of engine history).  unigen_prepare then
+  /// returns nullptr — the warmed engine lives in the pool.
+  WorkerPool* shared_pool = nullptr;
+  /// An already-run Simplifier for exactly (cnf, this->simplify,
+  /// sampling_set), adopted instead of running the pipeline again.  The
+  /// session registry computes one while fingerprinting a cold request
+  /// (the key hashes the simplified clauses and the reconstruction stack)
+  /// and hands it through here so prepare does not pay the pipeline twice.
+  /// The pipeline is deterministic, so adoption is outcome-neutral.
+  /// Ignored when simplify.enabled is false.
+  std::shared_ptr<const Simplifier> presimplified;
 };
 
 struct UniGenStats {
@@ -179,7 +200,10 @@ struct UniGenPrepared {
 /// the prepare-time fields of `stats`.  Returns the
 /// persistent engine the easy-case check warmed up when the instance ends
 /// up in hashed mode — the caller's first cell sampler can adopt it instead
-/// of building its own — and nullptr otherwise.
+/// of building its own — and nullptr otherwise.  With
+/// options.shared_pool the hashed-mode return is always nullptr: the pool
+/// was started here, worker 0 adopted that engine, and the ApproxMC call
+/// ran on the pool's workers (see UniGenOptions::shared_pool).
 std::unique_ptr<IncrementalBsat> unigen_prepare(
     const Cnf& cnf, const std::vector<Var>& sampling_set,
     const UniGenOptions& options, Rng& rng, UniGenPrepared& prep,

@@ -8,6 +8,7 @@
 
 #include "counting/parallel_approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
+#include "service/worker_pool.hpp"
 
 namespace unigen {
 namespace {
@@ -63,6 +64,7 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   const auto finish = [&any, &st](RequestStatus status) -> ApproxMcAnytime& {
     any.status = status;
     st.options.budget = Budget{};  // scrub borrowed pointers / stale clocks
+    st.options.shared_pool = nullptr;  // ditto: resumes run self-contained
     any.state = std::move(st);
     return any;
   };
@@ -80,9 +82,18 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   // One persistent solver for the prologue (and, on the serial path, the
   // whole count); the parallel path moves it into worker 0 so the probe's
   // warm-up is not wasted and each worker still builds exactly one solver.
-  auto engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
-  const auto fold_engine = [&result, &engine] {
-    fold_solver_stats(result, engine->stats());
+  // With a shared pool (the warm-handoff path) even that build is skipped:
+  // the prologue probes worker 0's persistent engine — legal because the
+  // dispatcher owns the pool between runs — so nothing this count warms up
+  // is ever thrown away.
+  WorkerPool* pool = options.shared_pool;
+  std::unique_ptr<IncrementalBsat> engine;
+  if (pool == nullptr)
+    engine = std::make_unique<IncrementalBsat>(formula, sampling_set);
+  IncrementalBsat& prologue_engine =
+      pool != nullptr ? pool->dispatcher_engine(0) : *engine;
+  const auto fold_engine = [&result, &prologue_engine] {
+    fold_solver_stats(result, prologue_engine.stats());
   };
 
   if (!st.prologue_done) {
@@ -98,7 +109,7 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
     limits.conflict_budget = budget.conflicts_per_call;
     limits.cancel = budget.cancel != nullptr ? budget.cancel->flag() : nullptr;
     const EnumerateResult r =
-        engine->enumerate_cell(0, st.pivot + 1, limits, false);
+        prologue_engine.enumerate_cell(0, st.pivot + 1, limits, false);
     result.bsat_calls = 1;
     if (r.cancelled) {
       fold_engine();
@@ -169,7 +180,13 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   threads = std::min(
       threads, static_cast<std::size_t>(st.iterations_requested));
 
-  if (threads > 1) {
+  if (pool != nullptr || threads > 1) {
+    // The shared-pool path routes through the fan-out even at width 1:
+    // iterations must run on the pool's persistent workers (so their
+    // warm-up survives the call), and the count's bytes are the same on
+    // every path anyway.  Extra pool workers beyond the iteration count
+    // simply never pull a task (and, engines being lazily built, cost
+    // nothing here).
     ParallelCountControl control;
     control.settled = &st.settled;
     control.units_granted = grant;
@@ -179,13 +196,14 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
                                  st.iter_base, std::move(engine), st.outcomes,
                                  result, control);
   } else {
-    std::uint32_t prev_m = 0;  // 0 = cold start for the first iteration
+    LeapfrogHint hint(options.leapfrog_window);
     for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
       if (st.settled[i]) {
         // ApproxMC2-style leapfrog: completed iterations (here, from an
         // earlier slice) seed later searches — same rule as below.
         if (!det) {
-          if (const auto m = leapfrog_publish(st.outcomes[i])) prev_m = *m;
+          if (const auto m = leapfrog_publish(st.outcomes[i]))
+            hint.publish(*m);
         }
         continue;
       }
@@ -194,11 +212,13 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
       if (grant != 0 && spent >= grant) break;
       Rng it_rng = st.iter_base.fork_stream(i);
       st.outcomes[i] = approxmc_core_iteration(*engine, st.n, st.pivot,
-                                               options, det ? 0 : prev_m,
+                                               options,
+                                               det ? 0 : hint.suggest(),
                                                it_rng, /*fault_key=*/i);
       spent += st.outcomes[i].bsat_calls;
       if (!det) {
-        if (const auto m = leapfrog_publish(st.outcomes[i])) prev_m = *m;
+        if (const auto m = leapfrog_publish(st.outcomes[i]))
+          hint.publish(*m);
       }
     }
     fold_engine();

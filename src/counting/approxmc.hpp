@@ -58,6 +58,8 @@
 
 namespace unigen {
 
+class WorkerPool;  // service/worker_pool.hpp
+
 struct ApproxMcOptions {
   double epsilon = 0.8;  ///< tolerance (ε > 0)
   double delta = 0.2;    ///< 1 − confidence
@@ -88,6 +90,27 @@ struct ApproxMcOptions {
   /// projected counts over S are invariant, see simplify/simplify.hpp).
   /// Callers that already simplified the formula turn it off.
   SimplifyOptions simplify;
+  /// Leapfrog hint policy for the hash-count searches: 1 (default) = the
+  /// classic last-completed-m, k > 1 = median of the last k completed m's
+  /// (see LeapfrogHint in counting/parallel_approxmc.hpp).  Outcome-neutral
+  /// either way — the count's bytes never depend on this — only probe
+  /// counts move; bench_parallel_count A/Bs the policies and the measured
+  /// default stays 1 (windowing cannot reduce cold-start misses, which are
+  /// the dominant term at high thread counts).
+  std::size_t leapfrog_window = 1;
+  /// Borrowed, already-started WorkerPool (over the same formula this
+  /// count will run on — so set `simplify.enabled = false` and pass the
+  /// pool's own formula) whose workers serve the fan-out instead of a
+  /// transient pool built and discarded inside the call.  This is the
+  /// counter→sampler warm handoff: worker 0's engine serves the unhashed
+  /// prologue too (no separate prologue engine is built), every engine
+  /// warmed by the count keeps serving whatever the pool does next, and
+  /// one-time solver builds drop from 2N to N per (pool, formula).  The
+  /// count's bytes are unchanged — identical to the serial path and to a
+  /// private pool at every width (engines' learnt history never reaches
+  /// reported values).  num_threads is ignored when set (the pool's width
+  /// rules); scrubbed from anytime resume states like the budget pointers.
+  WorkerPool* shared_pool = nullptr;
 };
 
 struct ApproxMcResult {

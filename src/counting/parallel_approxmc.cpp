@@ -1,6 +1,7 @@
 #include "counting/parallel_approxmc.hpp"
 
 #include <atomic>
+#include <optional>
 
 #include "service/worker_pool.hpp"
 
@@ -18,56 +19,72 @@ void parallel_approxmc_iterations(const Cnf& formula,
   const std::uint64_t pivot = result.pivot;
   const Budget& budget = options.budget;
 
-  // The leapfrog hint: hash count of the last completed iteration, 0 while
-  // none has finished.  Racy on purpose — the hint only steers where the
-  // search starts, never what it finds (approxmc_core.hpp), so relaxed
-  // loads/stores are all the coordination the fan-out needs.  Publication
-  // goes through leapfrog_publish — the same rule as the serial loop — so
-  // a cut iteration (timeout, fault, cancel) never seeds later searches.
+  // The leapfrog hint: completed iterations' m's, 0 while none has
+  // finished.  Racy on purpose — the hint only steers where the search
+  // starts, never what it finds (approxmc_core.hpp), so relaxed atomics
+  // are all the coordination the fan-out needs.  Publication goes through
+  // leapfrog_publish — the same rule as the serial loop — so a cut
+  // iteration (timeout, fault, cancel) never seeds later searches; the
+  // suggestion policy (last-m vs windowed median) is LeapfrogHint's.
   // Deterministic-budget runs bypass the hint entirely (control.cold_starts).
-  std::atomic<std::uint32_t> hint{0};
+  LeapfrogHint hint(options.leapfrog_window);
   // Unit ledger shared by the workers.  Like the hint it is only advisory
   // here (stop starting work the grant can no longer cover); the canonical
   // admission fold in approxmc.cpp re-derives the charged prefix
   // schedule-independently.
   std::atomic<std::uint64_t> spent{control.units_spent};
 
-  WorkerPool pool(threads, iter_base);
-  pool.start(formula, sampling_set, std::move(warm_engine));
-  pool.run(outcomes.size(), /*first_stream=*/0,
-           [&](IncrementalBsat& engine, std::size_t /*worker*/,
-               std::size_t i, Rng& rng) {
-             if (control.settled != nullptr && (*control.settled)[i]) return;
-             if (budget.cancelled()) return;       // slot stays "skipped"
-             if (budget.wall_expired()) return;
-             if (control.units_granted != 0 &&
-                 spent.load(std::memory_order_relaxed) >=
-                     control.units_granted)
-               return;
-             const std::uint32_t start_m =
-                 control.cold_starts ? 0 : hint.load(std::memory_order_relaxed);
-             outcomes[i] = approxmc_core_iteration(engine, n, pivot, options,
-                                                   start_m, rng,
-                                                   /*fault_key=*/i);
-             spent.fetch_add(outcomes[i].bsat_calls,
-                             std::memory_order_relaxed);
-             if (!control.cold_starts) {
-               if (const auto m = leapfrog_publish(outcomes[i]))
-                 hint.store(*m, std::memory_order_relaxed);
-             }
-           },
-           budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
+  // The warm-handoff seam: a shared pool (session server, SamplerPool)
+  // lends its workers — and keeps the engines this fan-out warms — instead
+  // of this call building N solvers only to discard them on return.
+  WorkerPool* pool = options.shared_pool;
+  std::optional<WorkerPool> owned;
+  if (pool == nullptr) {
+    owned.emplace(threads, iter_base);
+    owned->start(formula, sampling_set, std::move(warm_engine));
+    pool = &*owned;
+  }
+  pool->run(outcomes.size(), /*first_stream=*/0,
+            [&](IncrementalBsat& engine, std::size_t /*worker*/,
+                std::size_t i, Rng& rng) {
+              if (control.settled != nullptr && (*control.settled)[i]) return;
+              if (budget.cancelled()) return;       // slot stays "skipped"
+              if (budget.wall_expired()) return;
+              if (control.units_granted != 0 &&
+                  spent.load(std::memory_order_relaxed) >=
+                      control.units_granted)
+                return;
+              const std::uint32_t start_m =
+                  control.cold_starts ? 0 : hint.suggest();
+              outcomes[i] = approxmc_core_iteration(engine, n, pivot, options,
+                                                    start_m, rng,
+                                                    /*fault_key=*/i);
+              spent.fetch_add(outcomes[i].bsat_calls,
+                              std::memory_order_relaxed);
+              if (!control.cold_starts) {
+                if (const auto m = leapfrog_publish(outcomes[i]))
+                  hint.publish(*m);
+              }
+            },
+            budget.cancel != nullptr ? budget.cancel->flag() : nullptr,
+            // Iteration streams fork from iter_base whoever owns the pool:
+            // a shared pool's base generator keys a *different* stream
+            // space (its embedding's requests), and iteration i must draw
+            // the same randomness on both ownership paths.
+            &iter_base);
 
-  result.threads_used = pool.num_threads();
-  result.workers.reserve(pool.num_threads());
+  result.threads_used = pool->num_threads();
+  result.workers.reserve(pool->num_threads());
   // Aggregate through SolverStats::merge (the path the coverage test in
   // tests/test_solver_stats.cpp guards), then project into the flat result
   // fields through the same fold_solver_stats the serial path uses —
   // counters added to SolverStats cannot silently drop out of pooled
-  // totals or drift between the two paths.
+  // totals or drift between the two paths.  On a shared pool these are the
+  // engines' *lifetime* counters (they may include the embedding's earlier
+  // probes — diagnostics, not part of any byte-identity contract).
   SolverStats total;
-  for (std::size_t w = 0; w < pool.num_threads(); ++w) {
-    result.workers.push_back(pool.engine_stats(w));
+  for (std::size_t w = 0; w < pool->num_threads(); ++w) {
+    result.workers.push_back(pool->engine_stats(w));
     total.merge(result.workers.back());
   }
   fold_solver_stats(result, total);

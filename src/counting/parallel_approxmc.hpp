@@ -32,6 +32,9 @@
 // which dispatches here; this header exists for the dispatcher and for
 // tests that want the fan-out in isolation.
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -43,6 +46,73 @@
 #include "util/rng.hpp"
 
 namespace unigen {
+
+/// The shared leapfrog hint of one fan-out, with a configurable policy
+/// (ApproxMcOptions::leapfrog_window):
+///
+///   window == 1  — classic last-completed-m: publish overwrites, suggest
+///                  returns the latest value.  The behavior every PR-4 run
+///                  had.
+///   window  > 1  — windowed median: suggest returns the median of the last
+///                  `window` published m's.  Rationale: with racing workers
+///                  the *latest* completion is whichever iteration happened
+///                  to finish last — an outlier m then misdirects every
+///                  search that starts before the next completion, while
+///                  the median of several completions tracks the
+///                  concentration point of the distribution.
+///
+/// Either way the hint is advisory and outcome-neutral (nested-prefix
+/// monotonicity, approxmc_core.hpp), which is what makes the deliberately
+/// racy relaxed atomics sufficient: a torn or stale read costs probes,
+/// never correctness.  suggest() == 0 means cold (nothing published yet).
+/// Note what no policy can buy: a cold start happens iff a search begins
+/// before the first completion *anywhere*, and publication timing is
+/// identical under every policy — windowing can only cheapen misses that
+/// start warm-but-misdirected, never reduce the cold-start count
+/// (bench_parallel_count A/Bs exactly this).
+class LeapfrogHint {
+ public:
+  static constexpr std::size_t kMaxWindow = 15;
+
+  explicit LeapfrogHint(std::size_t window = 1)
+      : window_(window < 1 ? 1 : (window > kMaxWindow ? kMaxWindow : window)) {
+    for (auto& slot : ring_) slot.store(0, std::memory_order_relaxed);
+  }
+
+  /// Records a completed iteration's m (callers route through
+  /// leapfrog_publish first — the publication *rule* stays in one place).
+  void publish(std::uint32_t m) {
+    const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    ring_[static_cast<std::size_t>(n % window_)].store(
+        m, std::memory_order_relaxed);
+  }
+
+  /// The start_m to suggest: 0 while nothing is published, else the median
+  /// of the last min(published, window) values (latest value when
+  /// window == 1).
+  std::uint32_t suggest() const {
+    const std::uint64_t published = count_.load(std::memory_order_relaxed);
+    if (published == 0) return 0;
+    const std::size_t n = static_cast<std::size_t>(
+        published < window_ ? published : window_);
+    if (n == 1 || window_ == 1) {
+      // Classic: the slot the latest publish landed in.
+      const std::size_t last =
+          static_cast<std::size_t>((published - 1) % window_);
+      return ring_[last].load(std::memory_order_relaxed);
+    }
+    std::array<std::uint32_t, kMaxWindow> vals;
+    for (std::size_t i = 0; i < n; ++i)
+      vals[i] = ring_[i].load(std::memory_order_relaxed);
+    std::nth_element(vals.begin(), vals.begin() + n / 2, vals.begin() + n);
+    return vals[n / 2];
+  }
+
+ private:
+  std::size_t window_;
+  std::atomic<std::uint64_t> count_{0};
+  std::array<std::atomic<std::uint32_t>, kMaxWindow> ring_;
+};
 
 /// Anytime control of one fan-out; defaults reproduce the unbudgeted run.
 struct ParallelCountControl {
@@ -72,6 +142,15 @@ struct ParallelCountControl {
 /// way for every schedule.  Budget cuts (options.budget, `control`) leave
 /// the untouched slots default-valued (bsat_calls == 0); cancellation is
 /// observed both here (between iterations) and inside the pool.
+///
+/// Pool ownership: when options.shared_pool is set (an already-started
+/// WorkerPool over the same `formula`/`sampling_set`), the fan-out runs on
+/// *its* workers — `threads` and `warm_engine` are ignored (the embedding
+/// already seeded worker 0 when it started the pool), engines warmed here
+/// stay warm for whatever the pool serves next, and task streams still
+/// fork from `iter_base` (WorkerPool::run's stream_base override), so the
+/// outcome bytes are identical to a private pool's.  Without it the call
+/// builds its own transient pool of `threads` workers, as before.
 void parallel_approxmc_iterations(const Cnf& formula,
                                   const std::vector<Var>& sampling_set,
                                   const ApproxMcOptions& options,

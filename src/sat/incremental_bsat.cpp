@@ -1,18 +1,28 @@
 #include "sat/incremental_bsat.hpp"
 
+#include <atomic>
 #include <cassert>
 
 namespace unigen {
 
+namespace {
+std::atomic<std::uint64_t> g_total_constructions{0};
+}  // namespace
+
 IncrementalBsat::IncrementalBsat(const Cnf& cnf, std::vector<Var> projection,
                                  IncrementalBsatOptions options)
     : cnf_(cnf), projection_(std::move(projection)), options_(options) {
+  g_total_constructions.fetch_add(1, std::memory_order_relaxed);
   if (projection_.empty()) {
     projection_.resize(static_cast<std::size_t>(cnf_.num_vars()));
     for (Var v = 0; v < cnf_.num_vars(); ++v)
       projection_[static_cast<std::size_t>(v)] = v;
   }
   rebuild();
+}
+
+std::uint64_t IncrementalBsat::total_constructions() {
+  return g_total_constructions.load(std::memory_order_relaxed);
 }
 
 void IncrementalBsat::rebuild() {

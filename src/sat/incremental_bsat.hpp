@@ -110,6 +110,15 @@ class IncrementalBsat {
   const std::vector<Var>& projection() const { return projection_; }
   Solver& solver() { return *solver_; }
 
+  /// Process-wide count of IncrementalBsat constructions, ever.  A test
+  /// seam: per-engine SolverStats cannot reveal a *transient* engine that
+  /// was built, warmed and discarded (its stats die with it), but the
+  /// counter-to-sampler handoff's whole point is that no such engine
+  /// exists — tests assert the delta across prepare+sample equals the
+  /// worker count (see tests/test_session_registry.cpp).  Monotonic,
+  /// thread-safe, never reset.
+  static std::uint64_t total_constructions();
+
  private:
   void rebuild();
 

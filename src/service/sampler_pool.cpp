@@ -31,29 +31,41 @@ SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
   worker_ugstats_.resize(pool_.num_threads());
 }
 
-bool SamplerPool::prepare() {
+bool SamplerPool::prepare() { return prepare(options_.unigen.budget); }
+
+bool SamplerPool::prepare(const Budget& budget) {
   if (prepared_) return prep_.usable();
   Rng prepare_rng = pool_.fork_stream(0);
   // The one-time ApproxMC call fans its median iterations across as many
   // threads as this pool serves requests with (unless the caller pinned
-  // counter_threads explicitly).  The parallel count is byte-identical
-  // across thread counts, so q — and every sample downstream — still is.
-  // Known cost: the counter's fan-out builds its own transient WorkerPool
-  // and discards those engines; the sampling workers below load the same
-  // simplified formula again (one extra O(formula) build per worker, paid
-  // once per pool — engine handoff across the two fan-outs is a ROADMAP
-  // item).
+  // counter_threads explicitly), and — the warm handoff — across this
+  // pool's *own* workers: unigen_prepare starts pool_ itself (worker 0
+  // adopting the easy-case engine) and the count warms the very engines
+  // that will serve samples, so exactly one solver is built per worker
+  // over the pool lifetime.  The parallel count is byte-identical across
+  // thread counts, so q — and every sample downstream — still is; sample
+  // bytes are untouched by the richer learnt history (canonical cell
+  // ordering).  A counter_threads pinned to a different width keeps the
+  // legacy transient count at that width instead.
   UniGenOptions unigen_options = options_.unigen;
+  unigen_options.budget = budget;
+  const bool handoff = unigen_options.counter_threads == 0 ||
+                       unigen_options.counter_threads == pool_.num_threads();
   if (unigen_options.counter_threads == 0)
     unigen_options.counter_threads = pool_.num_threads();
+  if (handoff) unigen_options.shared_pool = &pool_;
   auto engine = unigen_prepare(cnf_, sampling_set_, unigen_options,
                                prepare_rng, prep_, prepare_stats_);
   prepared_ = true;
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
-    // Worker 0 adopts the engine the easy-case check already built (and
-    // warmed with learnt clauses); the others build theirs on first use.
+    // Handoff path: pool_ is already started (start() is idempotent and
+    // `engine` is null).  Legacy path: worker 0 adopts the engine the
+    // easy-case check built; the others build theirs on first use.
     pool_.start(prep_.formula(cnf_), sampling_set_, std::move(engine));
   }
+  prepare_tasks_.resize(pool_.num_threads(), 0);
+  for (std::size_t w = 0; w < pool_.num_threads(); ++w)
+    prepare_tasks_[w] = pool_.tasks_served(w);
   return prep_.usable();
 }
 
@@ -288,7 +300,9 @@ SamplerPoolStats SamplerPool::stats() const {
   out.workers.reserve(pool_.num_threads());
   for (std::size_t w = 0; w < pool_.num_threads(); ++w) {
     SamplerPoolWorkerStats ws;
-    ws.requests_served = pool_.tasks_served(w);
+    ws.requests_served =
+        pool_.tasks_served(w) -
+        (w < prepare_tasks_.size() ? prepare_tasks_[w] : 0);
     const SolverStats es = pool_.engine_stats(w);
     ws.solver_rebuilds = es.solver_rebuilds;
     ws.reused_solves = es.reused_solves;

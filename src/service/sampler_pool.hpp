@@ -110,6 +110,9 @@ struct SampleBatchesResult {
 };
 
 struct SamplerPoolWorkerStats {
+  /// Sampling requests this worker served (the counting tasks the warm
+  /// handoff also ran on these workers are excluded — prepare's share is
+  /// snapshotted and subtracted).
   std::uint64_t requests_served = 0;
   /// Solver constructions on this worker's engine: stays at 1 for the pool
   /// lifetime (0 for a worker that never received a request — engines are
@@ -154,7 +157,23 @@ class SamplerPool {
   /// Runs Algorithm 1 lines 1–11 once and (in hashed mode) starts the
   /// worker threads.  Idempotent.  Returns false when the one-time phase
   /// exceeded its budget; requests then report kTimeout.
+  ///
+  /// Engine ownership: prepare wires this pool's own WorkerPool through to
+  /// unigen_prepare (UniGenOptions::shared_pool), so the one-time ApproxMC
+  /// call fans out across — and warms — the same N engines that will serve
+  /// samples: one solver build per worker across both phases, where the
+  /// pre-handoff design built a transient counting pool and threw its N
+  /// warmed engines away (asserted via IncrementalBsat::
+  /// total_constructions in tests/test_session_registry.cpp).  Exception:
+  /// a caller that pinned counter_threads to a width different from this
+  /// pool's keeps the legacy transient count at that width.
   bool prepare();
+
+  /// prepare() under a caller-supplied budget (deadline / cancellation /
+  /// unit caps reach the easy-case check and the nested count) — the
+  /// session registry's per-session Budget threading.  Only the *first*
+  /// call's budget matters; prepare latches either way.
+  bool prepare(const Budget& budget);
 
   /// Draws `count` independent witnesses — request k is one full run of
   /// lines 12–22 on stream k.  Trivial/UNSAT instances are served inline
@@ -223,6 +242,10 @@ class SamplerPool {
   /// Threads, engines and keyed streams; started by prepare() in hashed
   /// mode only.
   WorkerPool pool_;
+  /// tasks_served snapshot taken when prepare() returns: the counting
+  /// iterations the warm handoff ran on these workers, subtracted so
+  /// stats().workers[w].requests_served counts sampling requests only.
+  std::vector<std::uint64_t> prepare_tasks_;
   /// Accept-cell aggregates, one slot per worker, each touched only by its
   /// worker thread during a run (read between runs by stats()).
   std::vector<UniGenStats> worker_ugstats_;

@@ -13,6 +13,7 @@ struct WorkerPool::Job {
   std::uint64_t first_stream = 0;  ///< rng stream of task 0
   const TaskFn* fn = nullptr;
   const std::atomic<bool>* cancel = nullptr;  ///< skip fn once tripped
+  const Rng* stream_base = nullptr;  ///< task streams fork from this
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> executed{0};  ///< tasks whose fn actually ran
@@ -76,7 +77,7 @@ void WorkerPool::worker_main(std::size_t worker_index) {
               std::make_unique<IncrementalBsat>(*formula_, projection_);
         // All randomness of task k comes from its keyed stream — identical
         // no matter which worker runs this.
-        Rng rng = base_rng_.fork_stream(job->first_stream + k);
+        Rng rng = job->stream_base->fork_stream(job->first_stream + k);
         (*job->fn)(*worker.engine, worker_index, k, rng);
         ++worker.served;
         job->executed.fetch_add(1, std::memory_order_relaxed);
@@ -93,13 +94,15 @@ void WorkerPool::worker_main(std::size_t worker_index) {
 
 std::size_t WorkerPool::run(std::size_t count, std::uint64_t first_stream,
                             const TaskFn& fn,
-                            const std::atomic<bool>* cancel) {
+                            const std::atomic<bool>* cancel,
+                            const Rng* stream_base) {
   if (count == 0) return 0;
   Job job;
   job.count = count;
   job.first_stream = first_stream;
   job.fn = &fn;
   job.cancel = cancel;
+  job.stream_base = stream_base != nullptr ? stream_base : &base_rng_;
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;
@@ -119,6 +122,15 @@ std::size_t WorkerPool::run(std::size_t count, std::uint64_t first_stream,
 
 SolverStats WorkerPool::engine_stats(std::size_t w) const {
   return workers_[w].engine ? workers_[w].engine->stats() : SolverStats{};
+}
+
+IncrementalBsat& WorkerPool::dispatcher_engine(std::size_t w) {
+  // Dispatcher-only between runs (header contract): no worker thread can be
+  // touching engines here, so the lazy build races with nothing.
+  Worker& worker = workers_[w];
+  if (!worker.engine)
+    worker.engine = std::make_unique<IncrementalBsat>(*formula_, projection_);
+  return *worker.engine;
 }
 
 }  // namespace unigen

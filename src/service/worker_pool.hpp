@@ -89,9 +89,20 @@ class WorkerPool {
   /// solver's periodic conflict check only if fn threads the same flag
   /// into its solver calls (the Budget plumbing does).  Returns the number
   /// of tasks whose fn actually ran — == count iff no cancellation fired.
+  ///
+  /// `stream_base` overrides the generator task streams fork from for this
+  /// one run (default: the pool's own base_rng_).  This is what lets one
+  /// pool serve fan-outs from different stream spaces — the counting phase
+  /// forks its iterations from prepare's stream-0 rng while the sampling
+  /// phase forks requests from the pool seed — without renumbering either:
+  /// each caller keeps drawing the exact streams it would on a private
+  /// pool, which is the byte-identity contract of the warm handoff.  The
+  /// pointee is only read (fork_stream is const) and must stay alive until
+  /// run() returns.
   std::size_t run(std::size_t count, std::uint64_t first_stream,
                   const TaskFn& fn,
-                  const std::atomic<bool>* cancel = nullptr);
+                  const std::atomic<bool>* cancel = nullptr,
+                  const Rng* stream_base = nullptr);
 
   /// The keyed-stream primitive, exposed so the owning service can serve
   /// inline fast paths (trivial mode) from the same stream space.
@@ -109,6 +120,15 @@ class WorkerPool {
   }
   /// Engine counters of worker `w` (zero-valued when it never built one).
   SolverStats engine_stats(std::size_t w) const;
+
+  /// Worker `w`'s persistent engine, built now if it does not exist yet —
+  /// the seam that lets a one-time phase (ApproxMC's unhashed prologue)
+  /// run its probes on the same engine worker `w` will keep for the pool
+  /// lifetime instead of warming a solver that is then thrown away.
+  /// Dispatcher-only, and only between runs (the threading contract above):
+  /// while a run is in flight the engine belongs to its worker thread.
+  /// Requires start().
+  IncrementalBsat& dispatcher_engine(std::size_t w);
 
  private:
   struct Job;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "cnf/fingerprint.hpp"
 #include "util/timer.hpp"
 
 namespace unigen {
@@ -471,6 +472,17 @@ std::vector<Model> Simplifier::extend_models(std::vector<Model> models) const {
   if (!elim_stack_.empty())
     for (Model& m : models) extend_model(m);
   return models;
+}
+
+void Simplifier::fold_reconstruction(FingerprintBuilder& fb) const {
+  // The stack's order is meaning (reconstruction sweeps it in reverse), so
+  // everything goes through the order-sensitive chain.
+  fb.add_scalar(elim_stack_.size());
+  for (const EliminatedVar& ev : elim_stack_) {
+    fb.add_scalar(static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.v)));
+    fb.add_scalar(ev.clauses.size());
+    for (const auto& clause : ev.clauses) fb.add_ordered_clause(clause);
+  }
 }
 
 }  // namespace unigen

@@ -67,6 +67,8 @@
 
 namespace unigen {
 
+class FingerprintBuilder;  // cnf/fingerprint.hpp
+
 struct SimplifyOptions {
   /// Master switch (on by default; off = feed the raw CNF, for A/B runs).
   bool enabled = true;
@@ -149,6 +151,13 @@ class Simplifier {
   /// clauses in reverse elimination order.
   void extend_model(Model& m) const;
   std::vector<Model> extend_models(std::vector<Model> models) const;
+
+  /// Folds the reconstruction state (the BVE elimination stack, in order)
+  /// into `fb`.  Part of a session key: two inputs can simplify to the same
+  /// core yet reconstruct witnesses differently, and a cache that served
+  /// one's witnesses for the other would emit non-models — so the key must
+  /// cover how witnesses are extended, not just what gets solved.
+  void fold_reconstruction(FingerprintBuilder& fb) const;
 
  private:
   void run(const Cnf& input, const std::vector<Var>& frozen_vars);

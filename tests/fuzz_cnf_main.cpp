@@ -21,7 +21,15 @@
 //      injected fault plan: statuses are honest (a Partial estimate comes
 //      from completed iterations only, with the achieved-δ label), and
 //      cutting the run mid-grant then resuming with the remainder is
-//      byte-identical to the uninterrupted run.
+//      byte-identical to the uninterrupted run;
+//   7. the session server under a seed-derived register/sample/evict
+//      script over three formulas with an LRU cap tight enough to thrash:
+//      every response is byte-identical to a fresh reference pool serving
+//      the same per-session request sequence (stream continuation — the
+//      response's `warm` flag says when an eviction restarted a session's
+//      streams, at which point the reference pool is rebuilt too), and a
+//      cancelled request reports honest statuses while leaving the session
+//      byte-exactly reusable.
 //
 // Exit code 0 when every seed passes; on the first failure it prints a
 // one-line repro (`fuzz_cnf <seed>` / `fuzz_cnf.py --repro <seed>`) plus
@@ -35,6 +43,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +54,7 @@
 #include "fault_inject.hpp"
 #include "helpers.hpp"
 #include "service/budget.hpp"
+#include "service/sampling_server.hpp"
 
 namespace {
 
@@ -233,6 +244,87 @@ std::optional<Failure> run_seed(std::uint64_t seed) {
                  full.result.valid, full.result.cell_count,
                  full.result.hash_count, full.result.bsat_calls);
     }
+  }
+
+  // 7. The session server replays byte-identically against fresh pools.
+  {
+    const test::FuzzCase fb = test::make_fuzz_case(seed ^ 0xB10B5EEDull);
+    const test::FuzzCase fg = test::make_fuzz_case(seed + 17);
+    const Cnf* cnfs[3] = {&cnf, &fb.cnf, &fg.cnf};
+
+    SamplingServerOptions so;
+    so.registry.pool.num_threads = 2;
+    so.registry.pool.seed = seed ^ 0xF00D;
+    so.registry.max_sessions = 2;  // three formulas: the cap thrashes
+    SamplingServer server(so);
+    SamplerPoolOptions ref_template = so.registry.pool;
+    ref_template.num_threads = 1;  // cross-width identity for free
+    std::map<std::string, std::unique_ptr<SamplerPool>> refs;
+
+    const auto mirror_check = [&](const Cnf& formula,
+                                  const ServerSampleResponse& r,
+                                  std::size_t n) -> std::optional<Failure> {
+      const std::string key = r.key.hex();
+      if (!r.warm)  // cold start or post-eviction: the stream restarts
+        refs[key] = std::make_unique<SamplerPool>(formula, ref_template);
+      FUZZ_CHECK(refs.count(key) == 1,
+                 "server leg: warm response for an unseen session key");
+      const auto want = refs[key]->sample_many(n);
+      FUZZ_CHECK(want.size() == r.samples.size(),
+                 "server leg: %zu slots, reference has %zu",
+                 r.samples.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        FUZZ_CHECK(want[i].status == r.samples[i].status &&
+                       want[i].witness == r.samples[i].witness,
+                   "server leg: response diverges from the fresh pool at "
+                   "slot %zu",
+                   i);
+      }
+      return std::nullopt;
+    };
+
+    Rng script(seed + 4);
+    for (int op = 0; op < 8; ++op) {
+      const std::size_t f = static_cast<std::size_t>(script.below(3));
+      const std::size_t n = 1 + static_cast<std::size_t>(script.below(3));
+      const ServerSampleResponse r = server.sample(*cnfs[f], n);
+      FUZZ_CHECK(r.status == RequestStatus::kComplete,
+                 "server leg: unbudgeted request ended %s",
+                 to_string(r.status));
+      if (auto fail = mirror_check(*cnfs[f], r, n)) return fail;
+    }
+
+    // Cancel honesty + reusability: warm a session, hit it with a tripped
+    // token (streams are consumed; the reference mirrors the same call),
+    // then demand the follow-up request still match byte-for-byte.
+    const std::size_t f = static_cast<std::size_t>(script.below(3));
+    const ServerSampleResponse warm_up = server.sample(*cnfs[f], 2);
+    if (auto fail = mirror_check(*cnfs[f], warm_up, 2)) return fail;
+    CancelToken token;
+    token.cancel();
+    Budget cancelled;
+    cancelled.cancel = &token;
+    const ServerSampleResponse cut = server.sample(*cnfs[f], 3, cancelled);
+    FUZZ_CHECK(cut.warm && cut.status == RequestStatus::kCancelled,
+               "server leg: cancelled warm request ended %s (warm=%d)",
+               to_string(cut.status), cut.warm);
+    for (const auto& s : cut.samples)
+      FUZZ_CHECK(s.status == SampleResult::Status::kCancelled,
+                 "server leg: cancelled request leaked status %d",
+                 static_cast<int>(s.status));
+    refs[cut.key.hex()]->sample_many_within(3, cancelled);
+    const ServerSampleResponse after = server.sample(*cnfs[f], 2);
+    FUZZ_CHECK(after.warm, "server leg: session lost after cancellation");
+    if (auto fail = mirror_check(*cnfs[f], after, 2)) return fail;
+
+    const SessionRegistryStats st = server.stats();
+    FUZZ_CHECK(st.prepare_failures == 0,
+               "server leg: %" PRIu64 " unbudgeted prepares failed",
+               st.prepare_failures);
+    FUZZ_CHECK(st.hits + st.misses == st.requests && st.sessions <= 2,
+               "server leg: ledger broken (%" PRIu64 "+%" PRIu64
+               " != %" PRIu64 ", %zu live)",
+               st.hits, st.misses, st.requests, st.sessions);
   }
 
   return std::nullopt;

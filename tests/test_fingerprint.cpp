@@ -1,0 +1,134 @@
+// Tests for the canonical formula fingerprint (cnf/fingerprint.hpp): the
+// session registry's keying primitive.  The contract under test is
+// "order-independent where presentation varies, order-sensitive where
+// order is meaning".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cnf/fingerprint.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+Cnf base_formula() {
+  Cnf cnf(6);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, true)});
+  cnf.add_clause({Lit(2, false), Lit(3, false)});
+  cnf.add_clause({Lit(4, true), Lit(5, false), Lit(0, true)});
+  cnf.add_xor({{0, 2, 4}, true});
+  return cnf;
+}
+
+TEST(Fingerprint, DeterministicAcrossBuilders) {
+  const Cnf cnf = base_formula();
+  EXPECT_EQ(fingerprint_cnf(cnf), fingerprint_cnf(cnf));
+  FingerprintBuilder fb;
+  fold_cnf(fb, cnf);
+  EXPECT_EQ(fb.digest(), fingerprint_cnf(cnf));
+  // digest() does not reset: folding more data changes the result.
+  fb.add_scalar(1);
+  EXPECT_FALSE(fb.digest() == fingerprint_cnf(cnf));
+}
+
+TEST(Fingerprint, ClauseOrderAndLiteralOrderArePresentation) {
+  const Cnf a = base_formula();
+  Cnf b(6);
+  // Same clauses, reversed order, literals scrambled within each clause.
+  b.add_clause({Lit(5, false), Lit(0, true), Lit(4, true)});
+  b.add_clause({Lit(3, false), Lit(2, false)});
+  b.add_clause({Lit(2, true), Lit(0, false), Lit(1, false)});
+  b.add_xor({{4, 0, 2}, true});
+  EXPECT_EQ(fingerprint_cnf(a), fingerprint_cnf(b));
+}
+
+TEST(Fingerprint, NameIsPresentation) {
+  Cnf a = base_formula();
+  Cnf b = base_formula();
+  a.name = "left";
+  b.name = "right";
+  EXPECT_EQ(fingerprint_cnf(a), fingerprint_cnf(b));
+}
+
+TEST(Fingerprint, DuplicateClausesAreMeaning) {
+  // The clause bag is a multiset: adding a copy of an existing clause must
+  // change the digest (a plain XOR fold would cancel the pair).
+  Cnf a = base_formula();
+  Cnf b = base_formula();
+  b.add_clause({Lit(2, false), Lit(3, false)});
+  EXPECT_FALSE(fingerprint_cnf(a) == fingerprint_cnf(b));
+}
+
+TEST(Fingerprint, ClauseContentIsMeaning) {
+  Cnf a = base_formula();
+  Cnf b(6);
+  b.add_clause({Lit(0, false), Lit(1, false), Lit(2, true)});
+  b.add_clause({Lit(2, false), Lit(3, true)});  // flipped polarity
+  b.add_clause({Lit(4, true), Lit(5, false), Lit(0, true)});
+  b.add_xor({{0, 2, 4}, true});
+  EXPECT_FALSE(fingerprint_cnf(a) == fingerprint_cnf(b));
+  Cnf c = base_formula();
+  c.add_xor({{0, 2, 4}, false});  // extra XOR, flipped rhs
+  EXPECT_FALSE(fingerprint_cnf(a) == fingerprint_cnf(c));
+}
+
+TEST(Fingerprint, SamplingSetIsMeaning) {
+  Cnf a = base_formula();
+  Cnf b = base_formula();
+  b.set_sampling_set({0, 1, 2});
+  EXPECT_FALSE(fingerprint_cnf(a) == fingerprint_cnf(b));
+  // Declaring the full support is the same meaning as declaring nothing.
+  Cnf c = base_formula();
+  c.set_sampling_set({0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(fingerprint_cnf(a), fingerprint_cnf(c));
+}
+
+TEST(Fingerprint, OrderedChainIsOrderSensitive) {
+  FingerprintBuilder a, b;
+  a.add_ordered_clause({Lit(0, false)});
+  a.add_ordered_clause({Lit(1, false)});
+  b.add_ordered_clause({Lit(1, false)});
+  b.add_ordered_clause({Lit(0, false)});
+  EXPECT_FALSE(a.digest() == b.digest());
+  // While the bag is not.
+  FingerprintBuilder c, d;
+  c.add_clause({Lit(0, false)});
+  c.add_clause({Lit(1, false)});
+  d.add_clause({Lit(1, false)});
+  d.add_clause({Lit(0, false)});
+  EXPECT_EQ(c.digest(), d.digest());
+}
+
+TEST(Fingerprint, ScalarsChainOrderSensitively) {
+  FingerprintBuilder a, b;
+  a.add_scalar(1);
+  a.add_scalar(2);
+  b.add_scalar(2);
+  b.add_scalar(1);
+  EXPECT_FALSE(a.digest() == b.digest());
+}
+
+TEST(Fingerprint, RandomFormulasRarelyCollide) {
+  // 200 random formulas, all digests distinct (a collision here would be a
+  // mixing bug, not bad luck, at 128 bits).
+  Rng rng(0xF1D0);
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    const Cnf cnf = test::random_cnf(8, 6 + i % 5, 3, rng);
+    seen.insert(fingerprint_cnf(cnf).hex());
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(Fingerprint, HexIsStable32Digits) {
+  const Fingerprint f = fingerprint_cnf(base_formula());
+  const std::string h = f.hex();
+  EXPECT_EQ(h.size(), 32u);
+  EXPECT_EQ(h, fingerprint_cnf(base_formula()).hex());
+}
+
+}  // namespace
+}  // namespace unigen

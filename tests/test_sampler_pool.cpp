@@ -110,7 +110,10 @@ TEST(SamplerPool, OneSolverBuildPerWorker) {
       EXPECT_EQ(st.workers[w].solver_rebuilds, 1u) << "worker " << w;
       EXPECT_GT(st.workers[w].sample_bsat_calls, 0u) << "worker " << w;
     } else {
-      EXPECT_EQ(st.workers[w].solver_rebuilds, 0u) << "worker " << w;
+      // A worker with no sampling requests may still own a built engine:
+      // prepare's counting fan-out runs on the same workers since the warm
+      // handoff.  What cannot happen is more than one build.
+      EXPECT_LE(st.workers[w].solver_rebuilds, 1u) << "worker " << w;
     }
   }
   EXPECT_EQ(served_total, 128u);
