@@ -1,0 +1,356 @@
+// bench_fleet — the process fleet's crash-isolation contract, gated:
+//
+//   * count identity: approx_count over the fleet backend at 1/2/4 workers
+//     returns the exact estimate the in-process path returns (the
+//     keyed-stream determinism contract crossing a process boundary);
+//   * sample-stream identity: a fleet-backed SamplerPool's sample_many /
+//     sample_batches streams byte-equal the in-process pool's at every
+//     worker count;
+//   * crash recovery: with a deterministic process-level fault plan
+//     (UNIGEN_WORKERD_FAULTS) SIGKILLing workers mid-task, the streams are
+//     STILL byte-identical — every crashed task was re-dispatched and its
+//     retry produced the same bytes — with zero poisoned tasks;
+//   * hang recovery: a worker that sleeps forever is caught by heartbeat
+//     silence, killed, replaced, and its task re-served identically;
+//   * clean-run hygiene: an un-faulted run records zero crashes and zero
+//     poisoned tasks (the supervisor doesn't kill healthy workers).
+//
+// The headline numbers are the recovery latencies (crash observed →
+// re-dispatch of the orphaned task) recorded in BENCH_fleet.json.  Wall
+// times per backend are recorded but not gated — on a 1-core container the
+// determinism gates are the trustworthy signal, not the clock.
+//
+// `--smoke` shrinks the request counts so the whole run fits in the tier-1
+// ctest budget; every gate is identical in both modes.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "counting/approxmc.hpp"
+#include "service/process_fleet.hpp"
+#include "service/sampler_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace unigen;
+
+constexpr std::uint64_t kSeed = 0xF1EE7DAC14ull;
+
+struct Instance {
+  std::string name;
+  Cnf cnf;
+};
+
+/// Hashed-mode formulas (the workers actually solve) plus one easy case
+/// (the fleet must be byte-transparent on the exact path too).
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  {
+    Cnf cnf(10);
+    cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+    cnf.add_clause({Lit(3, false), Lit(4, true)});
+    cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+    cnf.add_clause({Lit(8, false), Lit(9, false), Lit(0, true)});
+    out.push_back({"hashed_a", std::move(cnf)});
+  }
+  {
+    Cnf cnf(10);
+    cnf.add_clause({Lit(0, false), Lit(1, false)});
+    cnf.add_clause({Lit(2, false), Lit(3, false), Lit(4, false)});
+    cnf.add_clause({Lit(5, true), Lit(6, false)});
+    cnf.add_clause({Lit(7, false), Lit(8, false), Lit(9, true)});
+    out.push_back({"hashed_b", std::move(cnf)});
+  }
+  {
+    Cnf cnf(3);
+    cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+    out.push_back({"trivial_c", std::move(cnf)});
+  }
+  return out;
+}
+
+SamplerPoolOptions pool_options(std::size_t threads, std::size_t workers,
+                                const std::string& fault_plan = {}) {
+  SamplerPoolOptions o;
+  o.num_threads = threads;
+  o.seed = kSeed;
+  if (workers > 0) {
+    o.unigen.fleet.backend = ExecBackend::kProcessFleet;
+    o.unigen.fleet.num_workers = workers;
+    o.unigen.fleet.fault_plan = fault_plan;
+  }
+  return o;
+}
+
+bool same_samples(const std::vector<SampleResult>& a,
+                  const std::vector<SampleResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].status != b[i].status || a[i].witness != b[i].witness)
+      return false;
+  return true;
+}
+
+bool same_batches(const std::vector<BatchResult>& a,
+                  const std::vector<BatchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].status != b[i].status || a[i].models != b[i].models)
+      return false;
+  return true;
+}
+
+struct SampleRun {
+  std::vector<SampleResult> singles;
+  std::vector<BatchResult> batches;
+  FleetStats stats;          // zero for the in-process reference
+  bool fleet_up = false;     // the fleet backend actually came up
+  double wall_s = 0.0;
+};
+
+SampleRun run_samples(const Cnf& cnf, std::size_t threads,
+                      std::size_t workers, std::size_t singles,
+                      std::size_t batches, std::size_t batch_size,
+                      const std::string& fault_plan = {}) {
+  SampleRun out;
+  SamplerPool pool(cnf, pool_options(threads, workers, fault_plan));
+  const Stopwatch watch;
+  out.singles = pool.sample_many(singles);
+  out.batches = pool.sample_batches(batches, batch_size);
+  out.wall_s = watch.seconds();
+  if (pool.fleet() != nullptr) {
+    out.fleet_up = true;
+    out.stats = pool.fleet()->stats();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t singles =
+      smoke ? 10 : bench::env_u64("UNIGEN_FLEET_SAMPLES", 40);
+  const std::size_t batches =
+      smoke ? 4 : bench::env_u64("UNIGEN_FLEET_BATCHES", 12);
+  const std::size_t batch_size = 5;
+  const std::size_t worker_counts[] = {1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const auto suite = instances();
+  std::printf(
+      "process fleet — %zu formulas, %zu singles + %zu batches(x%zu) per "
+      "run, %u hardware thread(s)\n\n",
+      suite.size(), singles, batches, batch_size, hw);
+
+  bool count_identity = true;
+  bool sample_identity = true;
+  bool crash_identity = true;
+  bool crash_recovered = true;
+  bool hang_recovered = true;
+  bool clean_hygiene = true;
+  bool fleet_came_up = true;
+
+  std::uint64_t crashes_total = 0;
+  std::uint64_t redispatches_total = 0;
+  std::uint64_t hang_kills_total = 0;
+  std::uint64_t respawns_total = 0;
+  std::uint64_t poisoned_total = 0;
+  double recovery_total_s = 0.0;
+  double recovery_max_s = 0.0;
+  std::uint64_t recovery_events = 0;
+  double inproc_wall_s = 0.0;
+  double fleet_wall_s = 0.0;  // 2-worker clean runs
+
+  for (const Instance& inst : suite) {
+    // --- counting: the fleet-backed estimate must be the in-process one.
+    ApproxMcOptions co;
+    Rng ref_rng(kSeed);
+    const ApproxMcResult ref_count = approx_count(inst.cnf, co, ref_rng);
+    for (const std::size_t workers : worker_counts) {
+      ApproxMcOptions fo = co;
+      fo.fleet.backend = ExecBackend::kProcessFleet;
+      fo.fleet.num_workers = workers;
+      Rng rng(kSeed);
+      const ApproxMcResult got = approx_count(inst.cnf, fo, rng);
+      if (got.valid != ref_count.valid ||
+          got.cell_count != ref_count.cell_count ||
+          got.hash_count != ref_count.hash_count ||
+          got.exact != ref_count.exact) {
+        count_identity = false;
+        std::printf("COUNT MISMATCH %s workers=%zu\n", inst.name.c_str(),
+                    workers);
+      }
+    }
+    // Counting with two iterations killed on their first attempt: the
+    // retries must land on the same estimate.
+    {
+      ApproxMcOptions fo = co;
+      fo.fleet.backend = ExecBackend::kProcessFleet;
+      fo.fleet.num_workers = 2;
+      fo.fleet.fault_plan =
+          ProcessFaultPlan().kill_task(0).kill_task(2).to_env();
+      Rng rng(kSeed);
+      const ApproxMcResult got = approx_count(inst.cnf, fo, rng);
+      if (got.valid != ref_count.valid ||
+          got.cell_count != ref_count.cell_count ||
+          got.hash_count != ref_count.hash_count) {
+        crash_identity = false;
+        std::printf("COUNT CRASH-RUN MISMATCH %s\n", inst.name.c_str());
+      }
+    }
+
+    // --- sampling: in-process reference streams.
+    const SampleRun ref =
+        run_samples(inst.cnf, 2, /*workers=*/0, singles, batches, batch_size);
+    inproc_wall_s += ref.wall_s;
+
+    // Clean fleet runs across worker counts.
+    for (const std::size_t workers : worker_counts) {
+      const SampleRun got = run_samples(inst.cnf, 2, workers, singles,
+                                        batches, batch_size);
+      // The easy-case formula never goes hashed, so no fleet is built for
+      // it — the identity gate still applies (served in-process).
+      if (!got.fleet_up && inst.name != "trivial_c") fleet_came_up = false;
+      if (workers == 2) fleet_wall_s += got.wall_s;
+      if (!same_samples(ref.singles, got.singles) ||
+          !same_batches(ref.batches, got.batches)) {
+        sample_identity = false;
+        std::printf("SAMPLE MISMATCH %s workers=%zu\n", inst.name.c_str(),
+                    workers);
+      }
+      if (got.fleet_up &&
+          (got.stats.crashes != 0 || got.stats.poisoned_tasks != 0 ||
+           got.stats.hang_kills != 0))
+        clean_hygiene = false;
+    }
+
+    if (inst.name == "trivial_c") continue;  // fault runs need live workers
+
+    // Crash run: three request streams lose their worker mid-task.
+    {
+      const std::string plan =
+          ProcessFaultPlan().kill_task(2).kill_task(5).kill_task(8).to_env();
+      const SampleRun got =
+          run_samples(inst.cnf, 2, 2, singles, batches, batch_size, plan);
+      if (!got.fleet_up) fleet_came_up = false;
+      if (!same_samples(ref.singles, got.singles) ||
+          !same_batches(ref.batches, got.batches)) {
+        crash_identity = false;
+        std::printf("SAMPLE CRASH-RUN MISMATCH %s\n", inst.name.c_str());
+      }
+      if (got.stats.crashes < 3 || got.stats.redispatches < 3 ||
+          got.stats.poisoned_tasks != 0)
+        crash_recovered = false;
+      crashes_total += got.stats.crashes;
+      redispatches_total += got.stats.redispatches;
+      respawns_total += got.stats.respawns;
+      poisoned_total += got.stats.poisoned_tasks;
+      recovery_total_s += got.stats.total_recovery_seconds;
+      recovery_max_s =
+          recovery_max_s > got.stats.max_recovery_seconds
+              ? recovery_max_s
+              : got.stats.max_recovery_seconds;
+      recovery_events += got.stats.redispatches;
+    }
+
+    // Hang run: one stream sleeps forever; heartbeat silence must catch it.
+    {
+      SamplerPoolOptions o = pool_options(
+          2, 2, ProcessFaultPlan().sleep_task(3).to_env());
+      o.unigen.fleet.heartbeat_interval_s = 0.05;
+      o.unigen.fleet.heartbeat_timeout_s = 0.6;
+      SamplerPool pool(inst.cnf, o);
+      const auto got = pool.sample_many(singles);
+      if (pool.fleet() == nullptr) {
+        fleet_came_up = false;
+      } else {
+        const FleetStats& fs = pool.fleet()->stats();
+        if (fs.hang_kills < 1 || fs.poisoned_tasks != 0)
+          hang_recovered = false;
+        hang_kills_total += fs.hang_kills;
+      }
+      if (!same_samples(ref.singles, got)) {
+        hang_recovered = false;
+        std::printf("SAMPLE HANG-RUN MISMATCH %s\n", inst.name.c_str());
+      }
+    }
+  }
+
+  const double recovery_avg_s =
+      recovery_events == 0
+          ? 0.0
+          : recovery_total_s / static_cast<double>(recovery_events);
+
+  std::printf("fleet came up:                        %s\n",
+              fleet_came_up ? "yes" : "NO");
+  std::printf("count identity (1/2/4 workers):       %s\n",
+              count_identity ? "yes" : "NO");
+  std::printf("sample identity (1/2/4 workers):      %s\n",
+              sample_identity ? "yes" : "NO");
+  std::printf("crash-run identity:                   %s\n",
+              crash_identity ? "yes" : "NO");
+  std::printf("crashed tasks all recovered:          %s (%llu crashes, %llu "
+              "re-dispatches, %llu poisoned)\n",
+              crash_recovered ? "yes" : "NO",
+              static_cast<unsigned long long>(crashes_total),
+              static_cast<unsigned long long>(redispatches_total),
+              static_cast<unsigned long long>(poisoned_total));
+  std::printf("hung workers caught and replaced:     %s (%llu hang kills)\n",
+              hang_recovered ? "yes" : "NO",
+              static_cast<unsigned long long>(hang_kills_total));
+  std::printf("clean runs crash/poison free:         %s\n",
+              clean_hygiene ? "yes" : "NO");
+  std::printf("recovery latency avg / max:           %.4f s / %.4f s\n",
+              recovery_avg_s, recovery_max_s);
+  std::printf("wall (2 threads in-process / 2-worker fleet): %.3f s / "
+              "%.3f s\n",
+              inproc_wall_s, fleet_wall_s);
+
+  bench::BenchJson json;
+  json.add("bench", "fleet");
+  json.add("suite", smoke ? "smoke" : "full");
+  json.add("formulas", static_cast<std::uint64_t>(suite.size()));
+  json.add("singles_per_run", static_cast<std::uint64_t>(singles));
+  json.add("batches_per_run", static_cast<std::uint64_t>(batches));
+  json.add("hardware_threads", static_cast<std::uint64_t>(hw));
+  json.add("inproc_wall_s", inproc_wall_s);
+  json.add("fleet_wall_s", fleet_wall_s);
+  json.add("crashes", crashes_total);
+  json.add("redispatches", redispatches_total);
+  json.add("respawns", respawns_total);
+  json.add("hang_kills", hang_kills_total);
+  json.add("poisoned_tasks", poisoned_total);
+  json.add("recovery_avg_s", recovery_avg_s);
+  json.add("recovery_max_s", recovery_max_s);
+  json.add("count_identity",
+           static_cast<std::uint64_t>(count_identity ? 1 : 0));
+  json.add("sample_identity",
+           static_cast<std::uint64_t>(sample_identity ? 1 : 0));
+  json.add("crash_identity",
+           static_cast<std::uint64_t>(crash_identity ? 1 : 0));
+  json.add("crash_recovered",
+           static_cast<std::uint64_t>(crash_recovered ? 1 : 0));
+  json.add("hang_recovered",
+           static_cast<std::uint64_t>(hang_recovered ? 1 : 0));
+  json.add("clean_hygiene",
+           static_cast<std::uint64_t>(clean_hygiene ? 1 : 0));
+  json.add("invariant_violations",
+           static_cast<std::uint64_t>(
+               (fleet_came_up ? 0 : 1) + (count_identity ? 0 : 1) +
+               (sample_identity ? 0 : 1) + (crash_identity ? 0 : 1) +
+               (crash_recovered ? 0 : 1) + (hang_recovered ? 0 : 1) +
+               (clean_hygiene ? 0 : 1)));
+  json.write("BENCH_fleet.json");
+
+  const bool gates = fleet_came_up && count_identity && sample_identity &&
+                     crash_identity && crash_recovered && hang_recovered &&
+                     clean_hygiene;
+  return gates ? 0 : 1;
+}

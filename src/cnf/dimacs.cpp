@@ -1,6 +1,8 @@
 #include "cnf/dimacs.hpp"
 
 #include <cctype>
+
+#include "cnf/dimacs_write.hpp"
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -201,34 +203,7 @@ Cnf parse_dimacs_file(const std::string& path) {
 
 void write_dimacs(const Cnf& cnf, std::ostream& out) {
   if (!cnf.name.empty()) out << "c " << cnf.name << "\n";
-  if (const auto& ss = cnf.sampling_set()) {
-    for (std::size_t i = 0; i < ss->size(); i += 10) {
-      out << "c ind";
-      for (std::size_t j = i; j < std::min(ss->size(), i + 10); ++j)
-        out << ' ' << ((*ss)[j] + 1);
-      out << " 0\n";
-    }
-  }
-  out << "p cnf " << cnf.num_vars() << ' '
-      << (cnf.num_clauses() + cnf.num_xors()) << "\n";
-  for (const auto& clause : cnf.clauses()) {
-    for (const Lit l : clause) out << l.to_dimacs() << ' ';
-    out << "0\n";
-  }
-  for (const auto& x : cnf.xors()) {
-    if (x.vars.empty()) {
-      // Constant XOR: rhs=false is a tautology, rhs=true is the empty clause.
-      if (x.rhs) out << "0\n";
-      continue;
-    }
-    out << 'x';
-    // Encode rhs in the sign of the first variable (CryptoMiniSAT style).
-    for (std::size_t i = 0; i < x.vars.size(); ++i) {
-      const long long v = x.vars[i] + 1;
-      out << (i == 0 && !x.rhs ? -v : v) << ' ';
-    }
-    out << "0\n";
-  }
+  write_dimacs_canonical(cnf, out);
 }
 
 std::string to_dimacs_string(const Cnf& cnf) {

@@ -1,0 +1,57 @@
+#include "cnf/dimacs_write.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace unigen {
+
+void write_dimacs_canonical(const Cnf& cnf, std::ostream& out) {
+  if (const auto& ss = cnf.sampling_set()) {
+    if (ss->empty()) {
+      // Declared-empty S: without this line the reader would default to the
+      // full support — a different projection, not a round-trip.
+      out << "c ind 0\n";
+    } else {
+      for (std::size_t i = 0; i < ss->size(); i += 10) {
+        out << "c ind";
+        for (std::size_t j = i; j < std::min(ss->size(), i + 10); ++j)
+          out << ' ' << ((*ss)[j] + 1);
+        out << " 0\n";
+      }
+    }
+  }
+  out << "p cnf " << cnf.num_vars() << ' '
+      << (cnf.num_clauses() + cnf.num_xors()) << "\n";
+  for (const auto& clause : cnf.clauses()) {
+    for (const Lit l : clause) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+  for (const auto& x : cnf.xors()) {
+    if (x.vars.empty()) {
+      // Constant row — inexpressible as an x-line.  rhs = false is a
+      // tautology (elided); rhs = true is the empty clause (written as
+      // one).  Satisfiability-preserving, not structure-preserving; see
+      // the header contract.
+      if (x.rhs) out << "0\n";
+      continue;
+    }
+    out << 'x';
+    // rhs rides in the sign of the first literal (CryptoMiniSAT style):
+    // the reader flips its rhs once per negative literal, so exactly one
+    // negation on a true-rhs-free row encodes rhs = false.
+    for (std::size_t i = 0; i < x.vars.size(); ++i) {
+      const long long v = x.vars[i] + 1;
+      out << (i == 0 && !x.rhs ? -v : v) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+std::string to_dimacs_canonical_string(const Cnf& cnf) {
+  std::ostringstream os;
+  write_dimacs_canonical(cnf, os);
+  return os.str();
+}
+
+}  // namespace unigen

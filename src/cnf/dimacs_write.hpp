@@ -1,0 +1,45 @@
+#pragma once
+// Canonical DIMACS/XOR writer.
+//
+// The parser (cnf/dimacs.hpp) accepts a liberal surface — wrapped clauses,
+// interleaved comments, CRLF, several clauses per line.  This module is the
+// inverse direction pinned down: ONE byte-exact serialization per formula
+// structure, so that
+//
+//   * the IPC layer (service/ipc.hpp) can ship a formula to an
+//     out-of-process worker and both sides agree on every byte (the frame
+//     is hashable / comparable, and a re-sent formula re-serializes
+//     identically), and
+//   * parse(write(F)) reproduces F structurally: num_vars, clauses in
+//     order with literals in order, XOR constraints in order (rhs encoded
+//     in the sign of the row's first literal, CryptoMiniSAT style), and
+//     the sampling set in stored order (Cnf::set_sampling_set sorts and
+//     dedupes, so both sides agree) — including the declared-empty set,
+//     which is written as a bare `c ind 0` line because "S = {}" and
+//     "no S declared" (= full support) mean different projections.
+//
+// What canonical form deliberately drops: the instance name (presentation,
+// not meaning — two differently-named copies of a formula must serialize
+// identically) and constant XOR rows (an empty row cannot be expressed in
+// the x-line format; rhs = false is a tautology and is elided, rhs = true
+// is the empty clause and is written as one, preserving satisfiability —
+// asserted by the round-trip tests, and no simplified formula the IPC
+// layer ships contains constant rows).
+//
+// The legacy write_dimacs (cnf/dimacs.hpp) keeps its name-comment header
+// and now delegates its body here, so the two writers cannot drift.
+
+#include <iosfwd>
+#include <string>
+
+#include "cnf/cnf.hpp"
+
+namespace unigen {
+
+/// Canonical serialization: header, `c ind` lines (10 vars each, stored
+/// order), `p cnf`, OR-clauses, XOR rows.  A pure function of the formula
+/// structure — no name, no timestamps, byte-identical across runs.
+void write_dimacs_canonical(const Cnf& cnf, std::ostream& out);
+std::string to_dimacs_canonical_string(const Cnf& cnf);
+
+}  // namespace unigen

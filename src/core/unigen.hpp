@@ -31,6 +31,7 @@
 #include "counting/approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
 #include "service/budget.hpp"
+#include "service/fleet_options.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 
@@ -101,6 +102,14 @@ struct UniGenOptions {
   /// The pipeline is deterministic, so adoption is outcome-neutral.
   /// Ignored when simplify.enabled is false.
   std::shared_ptr<const Simplifier> presimplified;
+  /// Execution backend for the sampling fan-out (SamplerPool): in-process
+  /// threads, or the supervised process fleet (service/process_fleet.hpp)
+  /// whose worker crashes cost one request retry instead of the service.
+  /// Sample bytes are identical on both backends (requests are pure
+  /// functions of their keyed streams).  The nested one-time count always
+  /// runs in-process — this switch moves only the per-sample fan-out.
+  /// Falls back to the in-process pool when no worker can be spawned.
+  FleetOptions fleet;
 };
 
 struct UniGenStats {

@@ -8,6 +8,7 @@
 
 #include "counting/parallel_approxmc.hpp"
 #include "sat/incremental_bsat.hpp"
+#include "service/process_fleet.hpp"
 #include "service/worker_pool.hpp"
 
 namespace unigen {
@@ -68,6 +69,16 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
     any.state = std::move(st);
     return any;
   };
+
+  // Degenerate budget admitted nothing: report before building a solver or
+  // issuing a probe, so a zero/negative deadline (or pre-tripped cancel)
+  // yields the same status on every machine instead of racing the first
+  // deadline check.
+  if (const RequestStatus adm = budget.admission_status();
+      adm != RequestStatus::kComplete && !st.exact_done) {
+    result.timed_out = adm == RequestStatus::kTimedOut;
+    return finish(adm);
+  }
 
   // Replaying a run that already concluded: reconstruct, touch nothing.
   if (st.exact_done) {
@@ -180,7 +191,58 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   threads = std::min(
       threads, static_cast<std::size_t>(st.iterations_requested));
 
-  if (pool != nullptr || threads > 1) {
+  // Process-fleet backend: ship the unsettled iterations to supervised
+  // worker processes instead of the in-process fan-out.  Each task frame
+  // carries its iteration's raw RNG state and the shared Setup carried the
+  // canonical formula, so every outcome is the same pure function of its
+  // stream the in-process paths compute — a worker crash costs one retry,
+  // a poisoned task just leaves its slot unsettled for the fold below
+  // (partial accounting / resume).  Fleet dispatch always cold-starts
+  // (start_m = 0, the deterministic-mode policy) — outcome-neutral, only
+  // probe counts move.  Falls through to the in-process dispatch when no
+  // worker can be spawned.
+  bool fleet_served = false;
+  if (options.fleet.backend == ExecBackend::kProcessFleet && pool == nullptr) {
+    ProcessFleet fleet(options.fleet);
+    if (fleet.start(ProcessFleet::make_count_setup(formula, sampling_set,
+                                                   st.n, st.pivot, options),
+                    threads)) {
+      std::vector<ProcessFleet::TaskSpec> specs;
+      std::vector<std::size_t> slot;
+      for (std::size_t i = 0; i < st.outcomes.size(); ++i) {
+        if (st.settled[i]) continue;
+        ProcessFleet::TaskSpec s;
+        s.id = i;
+        s.rng_state = st.iter_base.fork_stream(i).state();
+        specs.push_back(s);
+        slot.push_back(i);
+      }
+      ProcessFleet::RunControl control;
+      control.units_granted = grant;
+      control.units_spent = spent;
+      const std::vector<ProcessFleet::TaskOutcome> served =
+          fleet.run(specs, budget, &control);
+      for (std::size_t j = 0; j < served.size(); ++j) {
+        if (!served[j].served) continue;  // poisoned/cut → stays unsettled
+        const ipc::ResultMsg& r = served[j].result;
+        ApproxMcCoreOutcome& o = st.outcomes[slot[j]];
+        o.ok = r.ok != 0;
+        o.timed_out = r.timed_out != 0;
+        o.cancelled = r.cancelled != 0;
+        o.faulted = r.faulted != 0;
+        o.leapfrogged = r.leapfrogged != 0;
+        o.cell_count = r.cell_count;
+        o.hash_count = r.hash_count;
+        o.bsat_calls = r.bsat_calls;
+      }
+      fold_engine();  // the prologue engine's stats; workers are external
+      fleet_served = true;
+    }
+  }
+
+  if (fleet_served) {
+    // Outcomes are in; the canonical fold below settles them.
+  } else if (pool != nullptr || threads > 1) {
     // The shared-pool path routes through the fan-out even at width 1:
     // iterations must run on the pool's persistent workers (so their
     // warm-up survives the call), and the count's bytes are the same on

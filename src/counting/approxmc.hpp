@@ -52,6 +52,7 @@
 #include "counting/approxmc_core.hpp"
 #include "sat/solver.hpp"
 #include "service/budget.hpp"
+#include "service/fleet_options.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -111,6 +112,14 @@ struct ApproxMcOptions {
   /// reported values).  num_threads is ignored when set (the pool's width
   /// rules); scrubbed from anytime resume states like the budget pointers.
   WorkerPool* shared_pool = nullptr;
+  /// Execution backend for the median-iteration fan-out: the default
+  /// in-process pool, or the supervised process fleet (crash isolation; a
+  /// worker SIGKILL costs one task retry, not the count).  The count's
+  /// bytes are identical on both backends — iterations are pure functions
+  /// of their keyed streams, shipped to workers as raw RNG state.  Falls
+  /// back in-process when no worker can be spawned.  Ignored when
+  /// shared_pool is set (the warm handoff is inherently in-process).
+  FleetOptions fleet;
 };
 
 struct ApproxMcResult {

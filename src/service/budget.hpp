@@ -150,6 +150,21 @@ struct Budget {
   bool fault_fires(std::uint64_t key, std::uint64_t call) const {
     return fault != nullptr && fault->inject_timeout(key, call);
   }
+
+  /// Admission check: the status a request must return WITHOUT issuing a
+  /// single BSAT call, or kComplete if it may proceed.  A degenerate budget
+  /// (deadline already expired — e.g. built from in_seconds(0) or a
+  /// negative duration — or a pre-tripped cancel token) previously raced
+  /// the first probe: a fast machine could squeeze work in before the first
+  /// deadline check and a slow one could not.  Checking at admission makes
+  /// the degenerate outcome deterministic.  max_bsat_calls is NOT checked
+  /// here: 0 is the documented "unlimited" sentinel, and any positive value
+  /// admits at least one probe.
+  RequestStatus admission_status() const {
+    if (cancelled()) return RequestStatus::kCancelled;
+    if (wall_expired()) return RequestStatus::kTimedOut;
+    return RequestStatus::kComplete;
+  }
 };
 
 }  // namespace unigen

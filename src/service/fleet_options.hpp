@@ -1,0 +1,92 @@
+#pragma once
+// Execution-backend switch and tuning knobs of the crash-isolated process
+// fleet (service/process_fleet.hpp).
+//
+// The keyed-stream determinism contract (worker_pool.hpp) is
+// location-independent: task k draws everything from fork_stream(k) and
+// results fold in canonical order, so *where* a task runs — which thread,
+// which process, which attempt after a crash — cannot reach the reported
+// bytes.  FleetOptions selects the transport that exploits this: the
+// default in-process WorkerPool, or N supervised child processes
+// (unigen_workerd) that contain a solver crash to one task retry instead
+// of taking down the whole service.
+
+#include <cstdint>
+#include <string>
+
+namespace unigen {
+
+enum class ExecBackend : std::uint8_t {
+  /// Threads of the caller's process (WorkerPool) — the default.
+  kInProcess,
+  /// Supervised out-of-process workers; falls back to kInProcess when no
+  /// worker can be spawned (fork failure, missing unigen_workerd binary).
+  kProcessFleet,
+};
+
+struct FleetOptions {
+  ExecBackend backend = ExecBackend::kInProcess;
+  /// Child processes; 0 = match the embedding's thread count.
+  std::size_t num_workers = 0;
+  /// Path to the unigen_workerd binary.  Empty = $UNIGEN_WORKERD, else
+  /// "unigen_workerd" next to the running executable (/proc/self/exe).
+  std::string workerd_path;
+  /// Wall-clock ceiling per task attempt; expiry kills the worker and
+  /// re-dispatches the task.  0 = none (heartbeats still police hangs).
+  double task_deadline_s = 0.0;
+  /// Worker-side heartbeat period.  The worker emits an unsolicited
+  /// heartbeat frame this often from a dedicated thread, so a busy solve
+  /// is distinguishable from a hung or dead process.
+  double heartbeat_interval_s = 0.25;
+  /// Supervisor-side silence ceiling: a busy worker that produced no frame
+  /// (result or heartbeat) for this long is declared hung, killed, and its
+  /// task re-dispatched.
+  double heartbeat_timeout_s = 10.0;
+  /// Attempts (1 + retries) before a task is poisoned and surfaces through
+  /// the existing RequestStatus partial/failed accounting.
+  int max_task_attempts = 3;
+  /// Bounded exponential backoff between respawns of a crashing worker.
+  double respawn_backoff_initial_s = 0.02;
+  double respawn_backoff_max_s = 2.0;
+  /// Respawns per worker slot before the slot is abandoned; the fleet
+  /// degrades to the surviving workers (and poisons what it must) rather
+  /// than fork-bombing on a crash loop.
+  int max_respawns_per_worker = 8;
+  /// UNIGEN_WORKERD_FAULTS value handed to every spawned worker — the
+  /// process-level fault-injection seam (see ProcessFaultPlan).  Empty =
+  /// no injected faults.
+  std::string fault_plan;
+};
+
+/// Builder for the UNIGEN_WORKERD_FAULTS plan: a ;-separated list of
+/// `kill@task:attempt` / `sleep@task:attempt` directives.  The worker
+/// checks the plan when it receives a task frame: `kill` raises SIGKILL
+/// (crash mid-task), `sleep` blocks the heartbeat mutex and sleeps forever
+/// (hang detectable only by heartbeat silence).  Keyed on the task id and
+/// the attempt ordinal — both schedule-independent — so a plan fires on
+/// the same task at every worker count, and a retry (attempt 1) of a
+/// task whose attempt 0 was killed runs clean and byte-identical.
+struct ProcessFaultPlan {
+  std::string plan;
+
+  ProcessFaultPlan& kill_task(std::uint64_t task, int attempt = 0) {
+    return add("kill", task, attempt);
+  }
+  ProcessFaultPlan& sleep_task(std::uint64_t task, int attempt = 0) {
+    return add("sleep", task, attempt);
+  }
+  const std::string& to_env() const { return plan; }
+
+ private:
+  ProcessFaultPlan& add(const char* what, std::uint64_t task, int attempt) {
+    if (!plan.empty()) plan += ';';
+    plan += what;
+    plan += '@';
+    plan += std::to_string(task);
+    plan += ':';
+    plan += std::to_string(attempt);
+    return *this;
+  }
+};
+
+}  // namespace unigen

@@ -1,0 +1,312 @@
+#include "service/ipc.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace unigen::ipc {
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void WireReader::need(std::size_t n) {
+  if (size_ - pos_ < n) throw std::runtime_error("ipc: truncated frame");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+namespace {
+
+void put_model(WireWriter& w, const Model& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const lbool v : m) w.u8(static_cast<std::uint8_t>(v));
+}
+
+Model get_model(WireReader& r) {
+  const std::uint32_t n = r.u32();
+  Model m(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t v = r.u8();
+    if (v > 2) throw std::runtime_error("ipc: bad lbool");
+    m[i] = static_cast<lbool>(v);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string encode_setup(const SetupMsg& m) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.str(m.formula_dimacs);
+  w.u32(static_cast<std::uint32_t>(m.sampling_set.size()));
+  for (const Var v : m.sampling_set) w.i32(v);
+  w.u8(m.simplify.enabled ? 1 : 0);
+  w.i32(m.simplify.max_rounds);
+  w.u8(m.simplify.pure_literals ? 1 : 0);
+  w.u8(m.simplify.subsumption ? 1 : 0);
+  w.u8(m.simplify.bounded_variable_elimination ? 1 : 0);
+  w.i32(m.simplify.bve_growth);
+  w.u64(m.simplify.bve_max_occurrences);
+  w.u32(m.n);
+  w.u64(m.pivot);
+  w.u8(m.prep_mode);
+  w.f64(m.kappa);
+  w.u64(m.kp_pivot);
+  w.f64(m.lo_thresh);
+  w.u64(m.hi_thresh);
+  w.i32(m.q);
+  w.f64(m.approx_log2_count);
+  w.i32(m.formula_vars);
+  w.f64(m.epsilon);
+  w.f64(m.sample_timeout_s);
+  w.f64(m.bsat_timeout_s);
+  return w.take();
+}
+
+SetupMsg decode_setup(const std::string& payload) {
+  WireReader r(payload);
+  SetupMsg m;
+  m.kind = static_cast<TaskKind>(r.u8());
+  m.formula_dimacs = r.str();
+  const std::uint32_t nvars = r.u32();
+  m.sampling_set.resize(nvars);
+  for (std::uint32_t i = 0; i < nvars; ++i) m.sampling_set[i] = r.i32();
+  m.simplify.enabled = r.u8() != 0;
+  m.simplify.max_rounds = r.i32();
+  m.simplify.pure_literals = r.u8() != 0;
+  m.simplify.subsumption = r.u8() != 0;
+  m.simplify.bounded_variable_elimination = r.u8() != 0;
+  m.simplify.bve_growth = r.i32();
+  m.simplify.bve_max_occurrences = static_cast<std::size_t>(r.u64());
+  m.n = r.u32();
+  m.pivot = r.u64();
+  m.prep_mode = r.u8();
+  m.kappa = r.f64();
+  m.kp_pivot = r.u64();
+  m.lo_thresh = r.f64();
+  m.hi_thresh = r.u64();
+  m.q = r.i32();
+  m.approx_log2_count = r.f64();
+  m.formula_vars = r.i32();
+  m.epsilon = r.f64();
+  m.sample_timeout_s = r.f64();
+  m.bsat_timeout_s = r.f64();
+  return m;
+}
+
+std::string encode_task(const TaskMsg& m) {
+  WireWriter w;
+  w.u64(m.task_id);
+  w.u32(m.attempt);
+  for (const std::uint64_t s : m.rng_state) w.u64(s);
+  w.u32(m.start_m);
+  w.u64(m.max_batch);
+  w.f64(m.deadline_s);
+  w.f64(m.bsat_timeout_s);
+  w.u64(m.max_bsat_calls);
+  w.u64(m.conflicts_per_call);
+  return w.take();
+}
+
+TaskMsg decode_task(const std::string& payload) {
+  WireReader r(payload);
+  TaskMsg m;
+  m.task_id = r.u64();
+  m.attempt = r.u32();
+  for (std::uint64_t& s : m.rng_state) s = r.u64();
+  m.start_m = r.u32();
+  m.max_batch = r.u64();
+  m.deadline_s = r.f64();
+  m.bsat_timeout_s = r.f64();
+  m.max_bsat_calls = r.u64();
+  m.conflicts_per_call = r.u64();
+  return m;
+}
+
+std::string encode_result(const ResultMsg& m) {
+  WireWriter w;
+  w.u64(m.task_id);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u8(m.ok);
+  w.u8(m.timed_out);
+  w.u8(m.cancelled);
+  w.u8(m.faulted);
+  w.u8(m.leapfrogged);
+  w.u64(m.cell_count);
+  w.u32(m.hash_count);
+  w.u64(m.bsat_calls);
+  w.u8(m.sample_status);
+  w.u32(static_cast<std::uint32_t>(m.models.size()));
+  for (const Model& model : m.models) put_model(w, model);
+  w.u64(m.sample_bsat_calls);
+  w.u64(m.timeout_retries);
+  return w.take();
+}
+
+ResultMsg decode_result(const std::string& payload) {
+  WireReader r(payload);
+  ResultMsg m;
+  m.task_id = r.u64();
+  m.kind = static_cast<TaskKind>(r.u8());
+  m.ok = r.u8();
+  m.timed_out = r.u8();
+  m.cancelled = r.u8();
+  m.faulted = r.u8();
+  m.leapfrogged = r.u8();
+  m.cell_count = r.u64();
+  m.hash_count = r.u32();
+  m.bsat_calls = r.u64();
+  m.sample_status = r.u8();
+  const std::uint32_t k = r.u32();
+  m.models.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) m.models.push_back(get_model(r));
+  m.sample_bsat_calls = r.u64();
+  m.timeout_retries = r.u64();
+  return m;
+}
+
+std::string encode_error(const std::string& what) {
+  WireWriter w;
+  w.str(what);
+  return w.take();
+}
+
+std::string decode_error(const std::string& payload) {
+  WireReader r(payload);
+  return r.str();
+}
+
+bool write_frame(int fd, FrameType type, const std::string& body) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size() + 1));
+  w.u8(static_cast<std::uint8_t>(type));
+  std::string frame = w.take();
+  frame.append(body);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrameReader::next(FrameType& type, std::string& body) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+  if (len == 0 || len > kMaxFrame)
+    throw std::runtime_error("ipc: bad frame length");
+  if (avail < 4 + static_cast<std::size_t>(len)) return false;
+  type = static_cast<FrameType>(static_cast<unsigned char>(buf_[pos_ + 4]));
+  body.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<std::size_t>(len);
+  // Compact once the consumed prefix dominates, keeping feed() amortized.
+  if (pos_ > (1u << 16) && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+bool read_exact(int fd, char* out, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd, out + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool read_frame(int fd, FrameType& type, std::string& body) {
+  char hdr[4];
+  if (!read_exact(fd, hdr, 4)) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[i]))
+           << (8 * i);
+  if (len == 0 || len > FrameReader::kMaxFrame) return false;
+  std::string payload(len, '\0');
+  if (!read_exact(fd, payload.data(), len)) return false;
+  type = static_cast<FrameType>(static_cast<unsigned char>(payload[0]));
+  body = payload.substr(1);
+  return true;
+}
+
+}  // namespace unigen::ipc

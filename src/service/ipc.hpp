@@ -1,0 +1,217 @@
+#pragma once
+// Length-prefixed binary protocol between ProcessFleet (supervisor) and
+// unigen_workerd (child worker), shared by both sides so the codecs cannot
+// drift.
+//
+// Wire format: every frame is a little-endian u32 payload length followed
+// by the payload; the payload's first byte is the FrameType.  The
+// conversation is strictly:
+//
+//   parent → child   Setup      (once: formula + scalars, see SetupMsg)
+//   child  → parent  Ready      (setup parsed, worker serving)
+//   parent → child   Task       (repeated; at most one in flight per worker)
+//   child  → parent  Result     (one per Task)
+//   child  → parent  Heartbeat  (unsolicited, every heartbeat_interval_s,
+//                                from a dedicated thread — so a busy solve
+//                                is distinguishable from a hung process)
+//   child  → parent  Error      (structured failure: the worker caught an
+//                                exception; the task is retried/poisoned,
+//                                the worker keeps serving)
+//
+// Everything a task needs to be a *pure function of its id* travels in the
+// frames: the formula ships as canonical DIMACS (cnf/dimacs_write.hpp, one
+// byte-exact serialization per structure), the task's RNG as raw xoshiro
+// state (Rng::state()), the sampling set as an explicit vector (its order
+// is the hash-drawing order).  That is what makes a crashed task's retry
+// byte-identical, and the whole fleet's output byte-identical to the
+// in-process WorkerPool.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/types.hpp"
+#include "simplify/simplify.hpp"
+
+namespace unigen::ipc {
+
+enum class FrameType : std::uint8_t {
+  kSetup = 1,
+  kReady = 2,
+  kTask = 3,
+  kResult = 4,
+  kHeartbeat = 5,
+  kError = 6,
+};
+
+/// What kind of work the fleet serves; fixed per fleet at Setup time.
+enum class TaskKind : std::uint8_t {
+  /// One ApproxMC median iteration (approxmc_core_iteration).
+  kCount = 0,
+  /// One UniGen sampling request (unigen_accept_cell + the pool's
+  /// pick/shuffle post-processing); max_batch distinguishes single/batch.
+  kSample = 1,
+};
+
+/// Bounds-checked little-endian serializer/deserializer.  The reader
+/// throws std::runtime_error on underflow — a truncated or corrupt frame
+/// becomes a structured worker error, never an out-of-bounds read.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::string& s) : WireReader(s.data(), s.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+  std::string str();
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n);
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Everything a worker needs before the first task.  One message covers
+/// both task kinds (unused fields ride along zero-valued; the frames are
+/// tiny next to the formula text).
+struct SetupMsg {
+  TaskKind kind = TaskKind::kCount;
+  /// Canonical DIMACS of the formula the worker's engine should load.
+  /// kCount ships the already-simplified formula (counting needs no
+  /// witness reconstruction); kSample ships the ORIGINAL formula and the
+  /// simplify options below — the worker re-runs the deterministic
+  /// pipeline, reproducing both the shrunk formula and the reconstruction
+  /// stack that maps cell models back onto the original.
+  std::string formula_dimacs;
+  /// Projection / sampling set, in hash-drawing order.
+  std::vector<Var> sampling_set;
+  // kSample: the preprocessing pipeline to re-run (enabled=false → none).
+  SimplifyOptions simplify;
+  // kCount scalars.
+  std::uint32_t n = 0;        ///< |S|
+  std::uint64_t pivot = 0;    ///< cell-size bound
+  // kSample scalars — the immutable UniGenPrepared the parent computed.
+  std::uint8_t prep_mode = 0;  ///< UniGenPrepared::Mode (always kHashed)
+  double kappa = 0.0;
+  std::uint64_t kp_pivot = 0;
+  double lo_thresh = 0.0;
+  std::uint64_t hi_thresh = 0;
+  std::int32_t q = 0;
+  double approx_log2_count = 0.0;
+  std::int32_t formula_vars = 0;  ///< original Cnf::num_vars()
+  double epsilon = 0.0;
+  double sample_timeout_s = 0.0;
+  /// UniGenOptions::bsat_timeout_s (the static per-probe wall cap).  The
+  /// per-call Budget scalars travel on each TaskMsg instead; pointers
+  /// (cancel token, in-process fault injector) cannot cross the boundary —
+  /// cancellation is supervisor-side (kill), faults are process-level
+  /// (UNIGEN_WORKERD_FAULTS).
+  double bsat_timeout_s = 0.0;
+};
+
+struct TaskMsg {
+  /// Canonical work-unit id: iteration index (kCount) or request stream
+  /// (kSample).  Also the fault-plan key.
+  std::uint64_t task_id = 0;
+  /// 0-based attempt ordinal; fault plans are keyed (task_id, attempt), so
+  /// the retry of a killed attempt runs clean — and byte-identical, since
+  /// everything else in this frame is unchanged.
+  std::uint32_t attempt = 0;
+  /// The task's private generator, exactly fork_stream(task_id) of the
+  /// parent's base — shipped as raw state so parent and worker agree on
+  /// every draw.
+  std::array<std::uint64_t, 4> rng_state{};
+  /// kCount: leapfrog hint (0 = cold start).  Outcome-neutral.
+  std::uint32_t start_m = 0;
+  /// kSample: 0 = single witness, else batch cell cap.
+  std::uint64_t max_batch = 0;
+  /// Remaining call-level wall budget at dispatch; <= 0 = unarmed.
+  double deadline_s = 0.0;
+  // Per-call Budget scalars (the embeddings let every service call carry
+  // its own Budget, so these ride on the task, not the Setup).
+  double bsat_timeout_s = 0.0;
+  std::uint64_t max_bsat_calls = 0;
+  std::uint64_t conflicts_per_call = 0;
+};
+
+struct ResultMsg {
+  std::uint64_t task_id = 0;
+  TaskKind kind = TaskKind::kCount;
+  // kCount payload: the ApproxMcCoreOutcome fields.
+  std::uint8_t ok = 0;
+  std::uint8_t timed_out = 0;
+  std::uint8_t cancelled = 0;
+  std::uint8_t faulted = 0;
+  std::uint8_t leapfrogged = 0;
+  std::uint64_t cell_count = 0;
+  std::uint32_t hash_count = 0;
+  std::uint64_t bsat_calls = 0;
+  // kSample payload: SampleResult::Status + the chosen witness(es), already
+  // post-processed worker-side (single: the rng.below pick; batch: the
+  // rng.shuffle + truncate) so the parent folds bytes, not cells.
+  std::uint8_t sample_status = 0;
+  std::vector<Model> models;
+  std::uint64_t sample_bsat_calls = 0;
+  std::uint64_t timeout_retries = 0;
+};
+
+std::string encode_setup(const SetupMsg& m);
+SetupMsg decode_setup(const std::string& payload);
+std::string encode_task(const TaskMsg& m);
+TaskMsg decode_task(const std::string& payload);
+std::string encode_result(const ResultMsg& m);
+ResultMsg decode_result(const std::string& payload);
+std::string encode_error(const std::string& what);
+std::string decode_error(const std::string& payload);
+
+/// Writes one frame (length prefix + type byte + body) to `fd`.  Uses
+/// send(MSG_NOSIGNAL) so a dead peer yields EPIPE, not SIGPIPE.  Returns
+/// false on any write failure (the caller reaps/respawns).
+bool write_frame(int fd, FrameType type, const std::string& body);
+
+/// Incremental frame decoder for the supervisor's nonblocking reads: feed
+/// whatever bytes arrived, pop complete frames as they materialize.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size) {
+    buf_.append(data, size);
+  }
+  /// Pops the next complete frame into (type, body); false = need more
+  /// bytes.  Throws std::runtime_error on a frame exceeding kMaxFrame (a
+  /// corrupt length prefix must not trigger a gigabyte allocation).
+  bool next(FrameType& type, std::string& body);
+
+  static constexpr std::uint32_t kMaxFrame = 1u << 30;
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+/// Blocking helpers for the worker side (fd is its only conversation).
+/// read_exact returns false on EOF (parent gone → worker exits).
+bool read_exact(int fd, char* out, std::size_t n);
+bool read_frame(int fd, FrameType& type, std::string& body);
+
+}  // namespace unigen::ipc

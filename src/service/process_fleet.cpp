@@ -1,0 +1,528 @@
+#include "service/process_fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cnf/dimacs_write.hpp"
+
+extern char** environ;
+
+namespace unigen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
+
+double seconds_since(Clock::time_point t) {
+  return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+Clock::time_point after_seconds(double s) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+struct ProcessFleet::Worker {
+  enum class State {
+    kDown,       ///< dead, respawn scheduled (next_spawn)
+    kAbandoned,  ///< dead, respawn budget exhausted — slot given up
+    kSpawning,   ///< alive, Setup sent, Ready not yet seen
+    kIdle,
+    kBusy,
+  };
+
+  pid_t pid = -1;
+  int fd = -1;
+  State state = State::kDown;
+  ipc::FrameReader reader;
+  /// Last frame of any kind (Ready/Heartbeat/Result) — the liveness clock.
+  Clock::time_point last_frame{};
+  Clock::time_point busy_since{};
+  std::size_t task = kNoTask;
+  int respawns = 0;
+  double backoff_s = 0.0;
+  Clock::time_point next_spawn{};
+  /// The pending death (if any) was our own SIGKILL (hang/deadline/cancel),
+  /// not a crash — kept out of the crash count.
+  bool supervisor_kill = false;
+
+  bool alive() const {
+    return state == State::kSpawning || state == State::kIdle ||
+           state == State::kBusy;
+  }
+};
+
+struct ProcessFleet::RunState {
+  const std::vector<TaskSpec>* tasks = nullptr;
+  std::vector<TaskOutcome>* outcomes = nullptr;
+  const Budget* budget = nullptr;
+  RunControl* control = nullptr;
+  /// Task indices awaiting (re-)dispatch; crash retries go to the front so
+  /// a recovered task is not starved behind the original queue.
+  std::deque<std::size_t> pending;
+  /// served + poisoned — run() returns when this reaches tasks->size().
+  std::size_t settled = 0;
+  /// Death-detection timestamps for crash-to-redispatch latency.
+  std::vector<Clock::time_point> death_time;
+  std::vector<char> death_pending;
+
+  bool grant_exhausted() const {
+    return control != nullptr && control->units_granted != 0 &&
+           control->units_spent >= control->units_granted;
+  }
+};
+
+ProcessFleet::ProcessFleet(FleetOptions options)
+    : options_(std::move(options)) {}
+
+ProcessFleet::~ProcessFleet() {
+  for (Worker& w : workers_) {
+    if (w.fd >= 0) ::close(w.fd);
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+    }
+  }
+}
+
+std::size_t ProcessFleet::num_workers() const { return workers_.size(); }
+
+std::vector<int> ProcessFleet::worker_pids() const {
+  std::vector<int> pids;
+  for (const Worker& w : workers_)
+    if (w.alive()) pids.push_back(static_cast<int>(w.pid));
+  return pids;
+}
+
+std::string ProcessFleet::resolve_workerd_path() const {
+  if (!options_.workerd_path.empty()) return options_.workerd_path;
+  if (const char* env = std::getenv("UNIGEN_WORKERD")) return env;
+  // Default: "unigen_workerd" next to the running executable.
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return {};
+  return path.substr(0, slash + 1) + "unigen_workerd";
+}
+
+bool ProcessFleet::spawn(Worker& w) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    ++stats_.spawn_failures;
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    ++stats_.spawn_failures;
+    return false;
+  }
+  if (pid == 0) {
+    // Child: channel on fd 3, then exec the worker.  Env customization
+    // happened before fork (the exec env is this process's, already
+    // carrying the fault plan / heartbeat settings via setenv in start()).
+    ::close(sv[0]);
+    if (sv[1] != 3) {
+      ::dup2(sv[1], 3);
+      ::close(sv[1]);
+    }
+    ::execl(workerd_path_.c_str(), workerd_path_.c_str(), "--fd", "3",
+            static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(sv[1]);
+  w.pid = pid;
+  w.fd = sv[0];
+  w.state = Worker::State::kSpawning;
+  w.task = kNoTask;
+  w.supervisor_kill = false;
+  w.reader = ipc::FrameReader{};
+  w.last_frame = Clock::now();
+  ++stats_.spawns;
+  if (!ipc::write_frame(w.fd, ipc::FrameType::kSetup, setup_payload_)) {
+    handle_death(w, nullptr);
+    return false;
+  }
+  return true;
+}
+
+void ProcessFleet::kill_worker(Worker& w) {
+  if (!w.alive()) return;
+  w.supervisor_kill = true;
+  ::kill(w.pid, SIGKILL);  // death observed as EOF in the poll loop
+}
+
+void ProcessFleet::handle_death(Worker& w, RunState* run) {
+  // A result that beat the death into the socket still counts — drain the
+  // buffered frames before declaring the task crashed.
+  process_frames(w, run);
+  if (w.fd >= 0) {
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  if (w.pid > 0) {
+    ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+  if (!w.supervisor_kill) ++stats_.crashes;
+  if (w.state == Worker::State::kBusy && w.task != kNoTask && run != nullptr) {
+    const std::size_t t = w.task;
+    TaskOutcome& out = (*run->outcomes)[t];
+    if (!out.served && !out.poisoned) {
+      if (out.attempts >=
+          static_cast<std::uint32_t>(options_.max_task_attempts)) {
+        out.poisoned = true;
+        ++run->settled;
+        ++stats_.poisoned_tasks;
+      } else {
+        run->pending.push_front(t);
+        run->death_time[t] = Clock::now();
+        run->death_pending[t] = 1;
+      }
+    }
+  }
+  w.state = Worker::State::kDown;
+  w.task = kNoTask;
+  w.supervisor_kill = false;
+  w.backoff_s = w.backoff_s <= 0.0
+                    ? options_.respawn_backoff_initial_s
+                    : std::min(w.backoff_s * 2.0, options_.respawn_backoff_max_s);
+  w.next_spawn = after_seconds(w.backoff_s);
+}
+
+void ProcessFleet::process_frames(Worker& w, RunState* run) {
+  ipc::FrameType type;
+  std::string body;
+  for (;;) {
+    try {
+      if (!w.reader.next(type, body)) return;
+    } catch (const std::exception&) {
+      kill_worker(w);  // corrupt stream; EOF path will clean up
+      return;
+    }
+    w.last_frame = Clock::now();
+    switch (type) {
+      case ipc::FrameType::kReady:
+        if (w.state == Worker::State::kSpawning) {
+          w.state = Worker::State::kIdle;
+          w.backoff_s = 0.0;  // healthy respawn: backoff resets
+        }
+        break;
+      case ipc::FrameType::kHeartbeat:
+        break;
+      case ipc::FrameType::kResult: {
+        if (w.state != Worker::State::kBusy || run == nullptr) break;
+        ipc::ResultMsg msg;
+        try {
+          msg = ipc::decode_result(body);
+        } catch (const std::exception&) {
+          kill_worker(w);
+          return;
+        }
+        const std::size_t t = w.task;
+        w.state = Worker::State::kIdle;
+        w.task = kNoTask;
+        if (t == kNoTask || msg.task_id != (*run->tasks)[t].id) break;
+        TaskOutcome& out = (*run->outcomes)[t];
+        if (out.served || out.poisoned) break;
+        out.served = true;
+        out.result = std::move(msg);
+        ++run->settled;
+        if (run->control != nullptr)
+          run->control->units_spent += out.result.bsat_calls;
+        break;
+      }
+      case ipc::FrameType::kError: {
+        // Structured failure: the worker survives, the attempt is spent.
+        if (w.state != Worker::State::kBusy || run == nullptr) break;
+        const std::size_t t = w.task;
+        w.state = Worker::State::kIdle;
+        w.task = kNoTask;
+        if (t == kNoTask) break;
+        TaskOutcome& out = (*run->outcomes)[t];
+        if (out.served || out.poisoned) break;
+        if (out.attempts >=
+            static_cast<std::uint32_t>(options_.max_task_attempts)) {
+          out.poisoned = true;
+          ++run->settled;
+          ++stats_.poisoned_tasks;
+        } else {
+          run->pending.push_front(t);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void ProcessFleet::dispatch(Worker& w, std::size_t task_index, RunState* run) {
+  const TaskSpec& spec = (*run->tasks)[task_index];
+  TaskOutcome& out = (*run->outcomes)[task_index];
+  const Budget& budget = *run->budget;
+  ipc::TaskMsg msg;
+  msg.task_id = spec.id;
+  msg.attempt = out.attempts;
+  msg.rng_state = spec.rng_state;
+  msg.start_m = spec.start_m;
+  msg.max_batch = spec.max_batch;
+  msg.deadline_s =
+      budget.deadline.armed() ? budget.deadline.remaining_seconds() : 0.0;
+  msg.bsat_timeout_s = budget.bsat_timeout_s;
+  msg.max_bsat_calls = budget.max_bsat_calls;
+  msg.conflicts_per_call = budget.conflicts_per_call;
+  if (!ipc::write_frame(w.fd, ipc::FrameType::kTask, ipc::encode_task(msg))) {
+    // Worker died between poll rounds; the attempt was never delivered.
+    run->pending.push_front(task_index);
+    handle_death(w, run);
+    return;
+  }
+  ++out.attempts;
+  if (out.attempts > 1) ++stats_.redispatches;
+  if (run->death_pending[task_index]) {
+    const double rec = seconds_since(run->death_time[task_index]);
+    run->death_pending[task_index] = 0;
+    stats_.total_recovery_seconds += rec;
+    stats_.max_recovery_seconds = std::max(stats_.max_recovery_seconds, rec);
+  }
+  w.state = Worker::State::kBusy;
+  w.task = task_index;
+  w.busy_since = Clock::now();
+}
+
+bool ProcessFleet::poll_once(int timeout_ms, RunState* run) {
+  const Clock::time_point now = Clock::now();
+  // Respawn slots whose backoff elapsed (or abandon exhausted ones).
+  for (Worker& w : workers_) {
+    if (w.state != Worker::State::kDown || now < w.next_spawn) continue;
+    if (w.respawns >= options_.max_respawns_per_worker) {
+      w.state = Worker::State::kAbandoned;
+      continue;
+    }
+    ++w.respawns;
+    if (spawn(w)) ++stats_.respawns;
+  }
+  // Dispatch pending work to idle workers (unless the grant ran out —
+  // what it actually bought is the downstream canonical fold's decision).
+  if (run != nullptr && !run->grant_exhausted()) {
+    for (Worker& w : workers_) {
+      if (run->pending.empty()) break;
+      if (w.state != Worker::State::kIdle) continue;
+      const std::size_t t = run->pending.front();
+      run->pending.pop_front();
+      dispatch(w, t, run);
+    }
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<std::size_t> index;
+  bool any_live = false;
+  bool any_down = false;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = workers_[i];
+    if (w.alive()) {
+      any_live = true;
+      fds.push_back(pollfd{w.fd, POLLIN, 0});
+      index.push_back(i);
+    } else if (w.state == Worker::State::kDown) {
+      any_down = true;
+    }
+  }
+  if (!any_live && !any_down) return false;  // total, permanent worker loss
+  if (!fds.empty()) {
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                          timeout_ms);
+    if (rc > 0) {
+      for (std::size_t j = 0; j < fds.size(); ++j) {
+        if (fds[j].revents == 0) continue;
+        Worker& w = workers_[index[j]];
+        if (!w.alive()) continue;  // died earlier this round
+        char buf[1 << 16];
+        const ssize_t n = ::read(w.fd, buf, sizeof(buf));
+        if (n > 0) {
+          w.reader.feed(buf, static_cast<std::size_t>(n));
+          process_frames(w, run);
+        } else if (n == 0 || errno != EINTR) {
+          handle_death(w, run);
+        }
+      }
+    }
+  } else {
+    // Nothing to poll (all dead, some respawnable): let backoff time pass.
+    struct timespec ts = {0, timeout_ms * 1000000L};
+    ::nanosleep(&ts, nullptr);
+  }
+
+  // Liveness and per-attempt deadlines.
+  const Clock::time_point after = Clock::now();
+  for (Worker& w : workers_) {
+    if (!w.alive()) continue;
+    if (options_.heartbeat_timeout_s > 0.0 &&
+        std::chrono::duration<double>(after - w.last_frame).count() >
+            options_.heartbeat_timeout_s) {
+      ++stats_.hang_kills;
+      kill_worker(w);
+      continue;
+    }
+    if (w.state == Worker::State::kBusy && options_.task_deadline_s > 0.0 &&
+        std::chrono::duration<double>(after - w.busy_since).count() >
+            options_.task_deadline_s) {
+      ++stats_.deadline_kills;
+      kill_worker(w);
+    }
+  }
+  return true;
+}
+
+bool ProcessFleet::start(std::string setup_payload,
+                         std::size_t default_workers) {
+  if (started_) return true;
+  setup_payload_ = std::move(setup_payload);
+  workerd_path_ = resolve_workerd_path();
+  if (workerd_path_.empty() ||
+      ::access(workerd_path_.c_str(), X_OK) != 0)
+    return false;
+  // The fault plan and heartbeat interval reach workers via the
+  // environment; set them once here, before any fork.
+  if (!options_.fault_plan.empty())
+    ::setenv("UNIGEN_WORKERD_FAULTS", options_.fault_plan.c_str(), 1);
+  else
+    ::unsetenv("UNIGEN_WORKERD_FAULTS");
+  ::setenv("UNIGEN_WORKERD_HEARTBEAT_S",
+           std::to_string(options_.heartbeat_interval_s).c_str(), 1);
+
+  std::size_t n =
+      options_.num_workers != 0 ? options_.num_workers : default_workers;
+  if (n == 0) n = 1;
+  workers_ = std::vector<Worker>(n);
+  bool any = false;
+  for (Worker& w : workers_) any = spawn(w) || any;
+  if (!any) {
+    workers_.clear();
+    return false;
+  }
+  // Wait (bounded) for the first Ready: a fleet whose every worker dies in
+  // setup (bad binary, exec failure) must report failure, not hang the
+  // first run().
+  const Clock::time_point give_up =
+      after_seconds(std::max(10.0, options_.heartbeat_timeout_s));
+  while (Clock::now() < give_up) {
+    for (const Worker& w : workers_)
+      if (w.state == Worker::State::kIdle) {
+        started_ = true;
+        return true;
+      }
+    if (!poll_once(50, nullptr)) break;
+  }
+  for (Worker& w : workers_) kill_worker(w);
+  for (Worker& w : workers_)
+    if (w.alive()) handle_death(w, nullptr);
+  workers_.clear();
+  return false;
+}
+
+std::vector<ProcessFleet::TaskOutcome> ProcessFleet::run(
+    const std::vector<TaskSpec>& tasks, const Budget& budget,
+    RunControl* control) {
+  std::vector<TaskOutcome> outcomes(tasks.size());
+  if (!started_ || tasks.empty()) return outcomes;
+  RunState run;
+  run.tasks = &tasks;
+  run.outcomes = &outcomes;
+  run.budget = &budget;
+  run.control = control;
+  run.death_time.resize(tasks.size());
+  run.death_pending.assign(tasks.size(), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) run.pending.push_back(i);
+
+  while (run.settled < tasks.size()) {
+    if (budget.cancelled() || budget.wall_expired()) break;
+    if (run.grant_exhausted()) {
+      // Stop once in-flight attempts drain; pending slots stay unserved.
+      bool busy = false;
+      for (const Worker& w : workers_)
+        busy = busy || w.state == Worker::State::kBusy;
+      if (!busy) break;
+    }
+    if (!poll_once(25, &run)) break;
+  }
+
+  // A cut (cancel/deadline/grant) can leave workers mid-solve; SIGKILL is
+  // the only out-of-process interrupt.  Observe the deaths now so the
+  // fleet object is clean — and immediately reusable — for the next call.
+  bool any_busy = false;
+  for (Worker& w : workers_)
+    if (w.state == Worker::State::kBusy) {
+      kill_worker(w);
+      any_busy = true;
+    }
+  if (any_busy) {
+    const Clock::time_point reap_by = after_seconds(10.0);
+    for (;;) {
+      bool busy = false;
+      for (const Worker& w : workers_)
+        busy = busy || w.state == Worker::State::kBusy;
+      if (!busy || Clock::now() >= reap_by) break;
+      poll_once(25, nullptr);
+    }
+  }
+  return outcomes;
+}
+
+std::string ProcessFleet::make_count_setup(
+    const Cnf& formula, const std::vector<Var>& sampling_set, std::uint32_t n,
+    std::uint64_t pivot, const ApproxMcOptions& options) {
+  (void)options;
+  ipc::SetupMsg m;
+  m.kind = ipc::TaskKind::kCount;
+  m.formula_dimacs = to_dimacs_canonical_string(formula);
+  m.sampling_set = sampling_set;
+  m.n = n;
+  m.pivot = pivot;
+  m.formula_vars = formula.num_vars();
+  return ipc::encode_setup(m);
+}
+
+std::string ProcessFleet::make_sample_setup(
+    const Cnf& original, const std::vector<Var>& sampling_set,
+    const UniGenPrepared& prep, const UniGenOptions& options) {
+  ipc::SetupMsg m;
+  m.kind = ipc::TaskKind::kSample;
+  m.formula_dimacs = to_dimacs_canonical_string(original);
+  m.sampling_set = sampling_set;
+  m.simplify = options.simplify;
+  m.prep_mode = static_cast<std::uint8_t>(prep.mode);
+  m.kappa = prep.kp.kappa;
+  m.kp_pivot = prep.kp.pivot;
+  m.lo_thresh = prep.kp.lo_thresh;
+  m.hi_thresh = prep.kp.hi_thresh;
+  m.q = prep.q;
+  m.approx_log2_count = prep.approx_log2_count;
+  m.formula_vars = original.num_vars();
+  m.epsilon = options.epsilon;
+  m.sample_timeout_s = options.sample_timeout_s;
+  m.bsat_timeout_s = options.bsat_timeout_s;
+  return ipc::encode_setup(m);
+}
+
+}  // namespace unigen

@@ -1,0 +1,159 @@
+#pragma once
+// ProcessFleet — crash-isolated execution backend: N supervised child
+// processes (unigen_workerd) serving the same keyed-stream task shape as
+// the in-process WorkerPool.
+//
+// Why processes: a solver crash (or an injected SIGKILL) inside a
+// WorkerPool thread takes the whole service down.  Here it costs one task
+// retry — the supervisor reaps the dead child, respawns it under bounded
+// exponential backoff, and re-dispatches the in-flight task.  The retry is
+// byte-identical to what the dead worker would have produced, because a
+// task frame carries everything the computation depends on (formula in
+// canonical DIMACS, raw RNG state, scalars — see service/ipc.hpp): the
+// keyed-stream determinism contract is location-independent, so *where* a
+// task runs, and on which attempt, cannot reach the reported bytes.
+//
+// Supervision model (single-threaded poll loop, no supervisor threads):
+//   * liveness   — workers heartbeat on a dedicated thread; a worker silent
+//                  past heartbeat_timeout_s is declared hung, SIGKILLed,
+//                  and treated like any other death.
+//   * deadlines  — task_deadline_s bounds one attempt's wall clock; expiry
+//                  kills the worker (the only way to interrupt an
+//                  out-of-process solve) and re-dispatches.
+//   * crash loop — respawns back off exponentially and are capped per
+//                  worker slot; a slot that keeps dying is abandoned and
+//                  the fleet degrades to the survivors.
+//   * poisoning  — a task whose attempts exceed max_task_attempts is
+//                  poisoned: its slot reports unserved and flows through
+//                  the embeddings' existing partial/failed accounting.
+//   * cancel/    — a tripped token or expired call deadline SIGKILLs busy
+//     deadline     workers (honest statuses for their tasks); dead slots
+//                  respawn lazily, so the fleet object stays reusable.
+//
+// Graceful degradation: start() returns false when no worker can be
+// brought up (missing binary, fork failure); embeddings then fall back to
+// the in-process WorkerPool.  If the last live worker dies mid-run and no
+// slot can respawn, run() returns with the remaining tasks unserved rather
+// than spinning.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cnf/cnf.hpp"
+#include "core/unigen.hpp"
+#include "counting/approxmc.hpp"
+#include "service/budget.hpp"
+#include "service/fleet_options.hpp"
+#include "service/ipc.hpp"
+
+namespace unigen {
+
+struct FleetStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t spawn_failures = 0;
+  /// Unexpected worker deaths (crash, external kill) observed mid-service.
+  std::uint64_t crashes = 0;
+  /// Supervisor-initiated kills: heartbeat silence / per-task deadline.
+  std::uint64_t hang_kills = 0;
+  std::uint64_t deadline_kills = 0;
+  std::uint64_t respawns = 0;
+  /// Tasks sent again after their worker died mid-flight.
+  std::uint64_t redispatches = 0;
+  std::uint64_t poisoned_tasks = 0;
+  /// Crash-to-redispatch latency (death detected → task back on a live
+  /// worker), the service-visible cost of one recovery.
+  double total_recovery_seconds = 0.0;
+  double max_recovery_seconds = 0.0;
+};
+
+class ProcessFleet {
+ public:
+  /// One work unit; `id` is the canonical task key (iteration index or
+  /// request stream) — also the worker-side fault-plan key.
+  struct TaskSpec {
+    std::uint64_t id = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint32_t start_m = 0;   ///< kCount leapfrog hint (fleet: cold start)
+    std::uint64_t max_batch = 0; ///< kSample: 0 = single, else batch cap
+  };
+
+  /// served == false means the slot never produced a result: poisoned
+  /// (attempts exhausted — `poisoned` set), cut by the call budget, or
+  /// stranded by total worker loss.  Embeddings stamp honest statuses for
+  /// those through their existing finish paths.
+  struct TaskOutcome {
+    bool served = false;
+    bool poisoned = false;
+    std::uint32_t attempts = 0;
+    ipc::ResultMsg result;
+  };
+
+  /// Mirror of the in-process run's deterministic-unit ledger: when
+  /// units_granted != 0, dispatch stops once units_spent (incremented by
+  /// every arriving result's bsat_calls) reaches the grant.  Racy in the
+  /// same way the threaded path is — the canonical fold downstream decides
+  /// what the grant actually bought.
+  struct RunControl {
+    std::uint64_t units_granted = 0;
+    std::uint64_t units_spent = 0;
+  };
+
+  explicit ProcessFleet(FleetOptions options);
+  ~ProcessFleet();
+  ProcessFleet(const ProcessFleet&) = delete;
+  ProcessFleet& operator=(const ProcessFleet&) = delete;
+
+  /// Spawns the workers, ships `setup_payload` (an encoded ipc::SetupMsg)
+  /// to each, and waits for the first Ready.  False = no worker could be
+  /// brought up — the caller should fall back in-process.  Idempotent.
+  bool start(std::string setup_payload, std::size_t default_workers);
+
+  /// Convenience Setup builders matching what unigen_workerd expects.
+  static std::string make_count_setup(const Cnf& formula,
+                                      const std::vector<Var>& sampling_set,
+                                      std::uint32_t n, std::uint64_t pivot,
+                                      const ApproxMcOptions& options);
+  static std::string make_sample_setup(const Cnf& original,
+                                       const std::vector<Var>& sampling_set,
+                                       const UniGenPrepared& prep,
+                                       const UniGenOptions& options);
+
+  /// Fans `tasks` across the workers; synchronous; outcomes in task order.
+  /// `budget` supplies the call-level wall deadline and cancellation token
+  /// (its per-call scalars already travelled in the Setup frame).
+  std::vector<TaskOutcome> run(const std::vector<TaskSpec>& tasks,
+                               const Budget& budget,
+                               RunControl* control = nullptr);
+
+  bool started() const { return started_; }
+  std::size_t num_workers() const;
+  /// Live child pids — the test seam for external `kill -9`.
+  std::vector<int> worker_pids() const;
+  const FleetStats& stats() const { return stats_; }
+
+ private:
+  struct Worker;
+  struct RunState;
+
+  std::string resolve_workerd_path() const;
+  bool spawn(Worker& w);
+  void kill_worker(Worker& w);
+  void handle_death(Worker& w, RunState* run);
+  void process_frames(Worker& w, RunState* run);
+  void dispatch(Worker& w, std::size_t task_index, RunState* run);
+  /// One poll round: respawn due slots, pump readable fds, police
+  /// heartbeats and task deadlines.  Returns false when no worker is live
+  /// and none can ever come back.
+  bool poll_once(int timeout_ms, RunState* run);
+
+  FleetOptions options_;
+  std::string setup_payload_;
+  std::string workerd_path_;
+  bool started_ = false;
+  std::vector<Worker> workers_;
+  FleetStats stats_;
+};
+
+}  // namespace unigen

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "service/process_fleet.hpp"
 #include "util/timer.hpp"
 
 namespace unigen {
@@ -23,6 +24,42 @@ struct SamplerPool::Job {
   std::vector<char> served;
 };
 
+SampleResult finish_single_from_cell(AcceptCellResult r, Rng& rng) {
+  switch (r.status) {
+    case RequestStatus::kComplete:
+      return SampleResult::success(std::move(r.cell[rng.below(r.cell.size())]));
+    case RequestStatus::kCancelled:
+      return SampleResult::cancelled();
+    case RequestStatus::kTimedOut:
+      return SampleResult::timeout();
+    default:
+      return SampleResult::failure();  // ⊥
+  }
+}
+
+BatchResult finish_batch_from_cell(AcceptCellResult r, std::size_t max_batch,
+                                   Rng& rng) {
+  BatchResult out;
+  switch (r.status) {
+    case RequestStatus::kComplete:
+      rng.shuffle(r.cell);
+      if (r.cell.size() > max_batch) r.cell.resize(max_batch);
+      out.status = SampleResult::Status::kOk;
+      out.models = std::move(r.cell);
+      break;
+    case RequestStatus::kCancelled:
+      out.status = SampleResult::Status::kCancelled;
+      break;
+    case RequestStatus::kTimedOut:
+      out.status = SampleResult::Status::kTimeout;
+      break;
+    default:
+      out.status = SampleResult::Status::kFail;
+      break;
+  }
+  return out;
+}
+
 SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
     : cnf_(std::move(cnf)),
       sampling_set_(cnf_.sampling_set_or_all()),
@@ -30,6 +67,8 @@ SamplerPool::SamplerPool(Cnf cnf, SamplerPoolOptions options)
       pool_(options.num_threads, Rng(options.seed)) {
   worker_ugstats_.resize(pool_.num_threads());
 }
+
+SamplerPool::~SamplerPool() = default;
 
 bool SamplerPool::prepare() { return prepare(options_.unigen.budget); }
 
@@ -62,6 +101,21 @@ bool SamplerPool::prepare(const Budget& budget) {
     // `engine` is null).  Legacy path: worker 0 adopts the engine the
     // easy-case check built; the others build theirs on first use.
     pool_.start(prep_.formula(cnf_), sampling_set_, std::move(engine));
+    // Crash-isolated backend: bring up the worker processes now, shipping
+    // the ORIGINAL formula plus the simplify options — each worker re-runs
+    // the deterministic pipeline, reproducing the shrunk formula and the
+    // reconstruction stack prepare() computed here.  The nested count
+    // above always ran in-process (the warm handoff); only the per-sample
+    // fan-out moves out of process.  Start failure (no unigen_workerd
+    // binary, fork failure) leaves fleet_ null: requests silently serve
+    // from pool_ — graceful degradation, not an error.
+    if (options_.unigen.fleet.backend == ExecBackend::kProcessFleet) {
+      auto fleet = std::make_unique<ProcessFleet>(options_.unigen.fleet);
+      if (fleet->start(ProcessFleet::make_sample_setup(
+                           cnf_, sampling_set_, prep_, options_.unigen),
+                       pool_.num_threads()))
+        fleet_ = std::move(fleet);
+    }
   }
   prepare_tasks_.resize(pool_.num_threads(), 0);
   for (std::size_t w = 0; w < pool_.num_threads(); ++w)
@@ -86,43 +140,10 @@ void SamplerPool::serve(IncrementalBsat& engine, std::size_t worker, Job& job,
       engine, sampling_set_, prep_, *job.options, cnf_.num_vars(), rng,
       worker_ugstats_[worker], /*fault_key=*/job.first_stream + k);
   job.served[k] = 1;
-  if (job.kind == Job::Kind::kSingles) {
-    SampleResult& out = (*job.singles)[k];
-    switch (r.status) {
-      case RequestStatus::kComplete:
-        out = SampleResult::success(
-            std::move(r.cell[rng.below(r.cell.size())]));
-        break;
-      case RequestStatus::kCancelled:
-        out = SampleResult::cancelled();
-        break;
-      case RequestStatus::kTimedOut:
-        out = SampleResult::timeout();
-        break;
-      default:
-        out = SampleResult::failure();  // ⊥
-        break;
-    }
-  } else {
-    BatchResult& out = (*job.batches)[k];
-    switch (r.status) {
-      case RequestStatus::kComplete:
-        rng.shuffle(r.cell);
-        if (r.cell.size() > job.max_batch) r.cell.resize(job.max_batch);
-        out.status = SampleResult::Status::kOk;
-        out.models = std::move(r.cell);
-        break;
-      case RequestStatus::kCancelled:
-        out.status = SampleResult::Status::kCancelled;
-        break;
-      case RequestStatus::kTimedOut:
-        out.status = SampleResult::Status::kTimeout;
-        break;
-      default:
-        out.status = SampleResult::Status::kFail;
-        break;
-    }
-  }
+  if (job.kind == Job::Kind::kSingles)
+    (*job.singles)[k] = finish_single_from_cell(std::move(r), rng);
+  else
+    (*job.batches)[k] = finish_batch_from_cell(std::move(r), job.max_batch, rng);
 }
 
 SampleResult SamplerPool::inline_single(std::uint64_t stream) {
@@ -177,6 +198,42 @@ void SamplerPool::account(SampleResult::Status status) {
   }
 }
 
+void SamplerPool::serve_via_fleet(Job& job, std::size_t count,
+                                  const Budget& budget) {
+  // Request k of this call is task (first_stream + k): the id doubles as
+  // the worker-side fault-plan key and matches the in-process fault_key,
+  // so one injection plan addresses the same request on both backends.
+  // Raw RNG state per task keeps every draw identical to pool_'s keyed
+  // fork; a crashed request's retry re-runs the same pure function.
+  std::vector<ProcessFleet::TaskSpec> specs(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    specs[k].id = job.first_stream + k;
+    specs[k].rng_state = pool_.fork_stream(job.first_stream + k).state();
+    specs[k].max_batch =
+        job.kind == Job::Kind::kBatches ? job.max_batch : 0;
+  }
+  std::vector<ProcessFleet::TaskOutcome> outcomes = fleet_->run(specs, budget);
+  for (std::size_t k = 0; k < count; ++k) {
+    if (!outcomes[k].served) continue;  // poisoned/cut → finish_job stamps
+    const ipc::ResultMsg& r = outcomes[k].result;
+    if (r.sample_status > static_cast<std::uint8_t>(
+                              SampleResult::Status::kCancelled))
+      continue;  // corrupt status byte: treat as unserved
+    const auto status = static_cast<SampleResult::Status>(r.sample_status);
+    job.served[k] = 1;
+    if (job.kind == Job::Kind::kSingles) {
+      SampleResult& s = (*job.singles)[k];
+      s.status = status;
+      if (status == SampleResult::Status::kOk && !r.models.empty())
+        s.witness = r.models.front();
+    } else {
+      BatchResult& b = (*job.batches)[k];
+      b.status = status;
+      b.models = std::move(outcomes[k].result.models);
+    }
+  }
+}
+
 RequestStatus SamplerPool::finish_job(const Budget& budget, Job& job) {
   // After quiescence, on the dispatcher thread.  A token that fired at any
   // point during the call makes the whole call kCancelled (the token
@@ -216,6 +273,19 @@ SampleManyResult SamplerPool::sample_many_within(std::size_t count,
                                                  const Budget& budget) {
   SampleManyResult out;
   if (count == 0) return out;
+  // Degenerate budget: stamp every slot honestly before prepare() or any
+  // BSAT call.  Streams are still consumed — the stream ledger advances
+  // per request, whatever the outcome, so later requests are unaffected.
+  if (const RequestStatus adm = budget.admission_status();
+      adm != RequestStatus::kComplete) {
+    next_stream_ += count;
+    out.samples.assign(count, adm == RequestStatus::kCancelled
+                                  ? SampleResult::cancelled()
+                                  : SampleResult::timeout());
+    out.status = adm;
+    for (const SampleResult& r : out.samples) account(r.status);
+    return out;
+  }
   prepare();
   const Stopwatch watch;
   const std::uint64_t first_stream = next_stream_;
@@ -230,12 +300,15 @@ SampleManyResult SamplerPool::sample_many_within(std::size_t count,
   job.singles = &out.samples;
   job.served.assign(count, 0);
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
-    pool_.run(count, first_stream,
-              [this, &job](IncrementalBsat& engine, std::size_t worker,
-                           std::size_t k, Rng& rng) {
-                serve(engine, worker, job, k, rng);
-              },
-              budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
+    if (fleet_ != nullptr)
+      serve_via_fleet(job, count, budget);
+    else
+      pool_.run(count, first_stream,
+                [this, &job](IncrementalBsat& engine, std::size_t worker,
+                             std::size_t k, Rng& rng) {
+                  serve(engine, worker, job, k, rng);
+                },
+                budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
   } else {
     for (std::size_t k = 0; k < count; ++k) {
       if (budget.cancelled() || budget.wall_expired()) break;
@@ -254,6 +327,19 @@ SampleBatchesResult SamplerPool::sample_batches_within(std::size_t requests,
                                                        const Budget& budget) {
   SampleBatchesResult out;
   if (requests == 0 || max_batch == 0) return out;
+  if (const RequestStatus adm = budget.admission_status();
+      adm != RequestStatus::kComplete) {
+    next_stream_ += requests;
+    out.batches.resize(requests);
+    for (BatchResult& b : out.batches) {
+      b.status = adm == RequestStatus::kCancelled
+                     ? SampleResult::Status::kCancelled
+                     : SampleResult::Status::kTimeout;
+      account(b.status);
+    }
+    out.status = adm;
+    return out;
+  }
   prepare();
   const Stopwatch watch;
   const std::uint64_t first_stream = next_stream_;
@@ -269,12 +355,15 @@ SampleBatchesResult SamplerPool::sample_batches_within(std::size_t requests,
   job.batches = &out.batches;
   job.served.assign(requests, 0);
   if (prep_.mode == UniGenPrepared::Mode::kHashed) {
-    pool_.run(requests, first_stream,
-              [this, &job](IncrementalBsat& engine, std::size_t worker,
-                           std::size_t k, Rng& rng) {
-                serve(engine, worker, job, k, rng);
-              },
-              budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
+    if (fleet_ != nullptr)
+      serve_via_fleet(job, requests, budget);
+    else
+      pool_.run(requests, first_stream,
+                [this, &job](IncrementalBsat& engine, std::size_t worker,
+                             std::size_t k, Rng& rng) {
+                  serve(engine, worker, job, k, rng);
+                },
+                budget.cancel != nullptr ? budget.cancel->flag() : nullptr);
   } else {
     for (std::size_t k = 0; k < requests; ++k) {
       if (budget.cancelled() || budget.wall_expired()) break;

@@ -63,6 +63,8 @@
 
 namespace unigen {
 
+class ProcessFleet;
+
 struct SamplerPoolOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   std::size_t num_threads = 0;
@@ -103,6 +105,16 @@ struct SampleManyResult {
   RequestStatus status = RequestStatus::kComplete;
   std::vector<SampleResult> samples;
 };
+
+/// The post-accept_cell tail of one sampling request, factored out so the
+/// in-process pool (SamplerPool::serve) and the out-of-process worker
+/// (workerd_main.cpp) run byte-identical post-processing: the request's
+/// rng continues from wherever accept_cell left it — single pick via one
+/// rng.below, batch via rng.shuffle + truncate — which is part of the
+/// request's keyed-stream purity.
+SampleResult finish_single_from_cell(AcceptCellResult r, Rng& rng);
+BatchResult finish_batch_from_cell(AcceptCellResult r, std::size_t max_batch,
+                                   Rng& rng);
 
 struct SampleBatchesResult {
   RequestStatus status = RequestStatus::kComplete;
@@ -151,6 +163,7 @@ class SamplerPool {
   /// `cnf` is copied once into the pool and never mutated afterwards; all
   /// worker engines reference this single copy.
   explicit SamplerPool(Cnf cnf, SamplerPoolOptions options = {});
+  ~SamplerPool();
   SamplerPool(const SamplerPool&) = delete;
   SamplerPool& operator=(const SamplerPool&) = delete;
 
@@ -204,6 +217,11 @@ class SamplerPool {
   std::size_t num_threads() const { return pool_.num_threads(); }
   /// Valid after prepare().
   const UniGenPrepared& prepared() const { return prep_; }
+  /// Non-null iff prepare() brought up the process-fleet backend
+  /// (options.unigen.fleet) — the test seam for crash injection against a
+  /// live service.  Requests then fan out across worker processes instead
+  /// of pool_'s threads; byte-identical either way.
+  ProcessFleet* fleet() const { return fleet_.get(); }
   /// Snapshot; call between service calls (see the threading contract).
   SamplerPoolStats stats() const;
 
@@ -214,6 +232,9 @@ class SamplerPool {
   /// request's keyed stream; writes the result into the job's slot k.
   void serve(IncrementalBsat& engine, std::size_t worker, Job& job,
              std::size_t k, Rng& rng);
+  /// Fans the job across the process fleet (fleet_ non-null) instead of
+  /// pool_: same task keying, same bytes, crash-isolated workers.
+  void serve_via_fleet(Job& job, std::size_t count, const Budget& budget);
   /// Serves trivial/unsat/timed-out modes on the dispatcher thread.
   SampleResult inline_single(std::uint64_t stream);
   BatchResult inline_batch(std::uint64_t stream, std::size_t max_batch);
@@ -249,6 +270,10 @@ class SamplerPool {
   /// Accept-cell aggregates, one slot per worker, each touched only by its
   /// worker thread during a run (read between runs by stats()).
   std::vector<UniGenStats> worker_ugstats_;
+  /// The process-fleet backend when options_.unigen.fleet selects it and
+  /// start succeeded; null means requests run on pool_ (the default, and
+  /// the graceful degradation when no worker could be spawned).
+  std::unique_ptr<ProcessFleet> fleet_;
 };
 
 }  // namespace unigen

@@ -1,0 +1,267 @@
+// unigen_workerd — the crash-isolated worker process behind ProcessFleet.
+//
+// Protocol (service/ipc.hpp): the supervisor hands this process one end of
+// a socketpair as fd 3 (`--fd 3`), sends one Setup frame, then Task frames
+// one at a time; the worker answers each with a Result (or a structured
+// Error) and emits unsolicited Heartbeat frames from a dedicated thread so
+// the supervisor can tell a long solve from a hung process.
+//
+// Determinism: a task is a pure function of its frame — the formula came
+// in canonical DIMACS, the task's rng as raw state, and the post-
+// processing (pick/shuffle) is the exact helper the in-process pool uses —
+// so the supervisor may re-dispatch a task to any worker, any number of
+// times, and fold byte-identical results.
+//
+// Fault injection (tests only): UNIGEN_WORKERD_FAULTS holds a
+// ;-separated plan of `kill@task:attempt` / `sleep@task:attempt`
+// directives (ProcessFaultPlan).  `kill` raises SIGKILL on receipt of the
+// matching task — the crash-mid-task case; `sleep` grabs the heartbeat
+// mutex and sleeps forever — the hang case, detectable only through
+// heartbeat silence.  Keyed on (task, attempt) so a retry runs clean.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <unistd.h>
+
+#include "cnf/dimacs.hpp"
+#include "core/unigen.hpp"
+#include "counting/approxmc.hpp"
+#include "counting/approxmc_core.hpp"
+#include "sat/incremental_bsat.hpp"
+#include "service/ipc.hpp"
+#include "service/sampler_pool.hpp"
+#include "simplify/simplify.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace unigen {
+namespace {
+
+struct FaultDirective {
+  bool kill = false;  // else sleep
+  std::uint64_t task = 0;
+  std::uint32_t attempt = 0;
+};
+
+std::vector<FaultDirective> parse_fault_plan(const char* env) {
+  std::vector<FaultDirective> plan;
+  if (env == nullptr) return plan;
+  const std::string s(env);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find(';', pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string item = s.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t at = item.find('@');
+    const std::size_t colon = item.find(':', at);
+    if (at == std::string::npos || colon == std::string::npos) continue;
+    FaultDirective d;
+    const std::string what = item.substr(0, at);
+    if (what == "kill")
+      d.kill = true;
+    else if (what == "sleep")
+      d.kill = false;
+    else
+      continue;
+    d.task = std::strtoull(item.c_str() + at + 1, nullptr, 10);
+    d.attempt = static_cast<std::uint32_t>(
+        std::strtoul(item.c_str() + colon + 1, nullptr, 10));
+    plan.push_back(d);
+  }
+  return plan;
+}
+
+/// Worker state shared with the heartbeat thread: the write mutex orders
+/// Result and Heartbeat frames on the one socket, and doubles as the hang
+/// lever — the sleep fault holds it forever, so heartbeats stop.
+struct Writer {
+  int fd = -1;
+  std::mutex mu;
+
+  bool send(ipc::FrameType type, const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu);
+    return ipc::write_frame(fd, type, body);
+  }
+};
+
+void heartbeat_main(Writer* writer, double interval_s) {
+  const auto period = std::chrono::duration<double>(interval_s);
+  for (;;) {
+    std::this_thread::sleep_for(period);
+    if (!writer->send(ipc::FrameType::kHeartbeat, std::string()))
+      return;  // parent gone
+  }
+}
+
+[[noreturn]] void apply_fault(const FaultDirective& d, Writer& writer) {
+  if (d.kill) {
+    ::raise(SIGKILL);
+  }
+  // Hang: hold the write mutex so the heartbeat thread starves too, then
+  // sleep forever.  The supervisor's heartbeat timeout is the only thing
+  // that can end this process.
+  writer.mu.lock();
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(24));
+  // unreachable
+  std::abort();
+}
+
+int worker_main(int fd) {
+  ::signal(SIGPIPE, SIG_IGN);  // dead parent → failed write, not death
+  const std::vector<FaultDirective> faults =
+      parse_fault_plan(std::getenv("UNIGEN_WORKERD_FAULTS"));
+
+  Writer writer;
+  writer.fd = fd;
+
+  ipc::FrameType type;
+  std::string body;
+  if (!ipc::read_frame(fd, type, body) || type != ipc::FrameType::kSetup)
+    return 2;
+  ipc::SetupMsg setup;
+  try {
+    setup = ipc::decode_setup(body);
+  } catch (const std::exception& e) {
+    writer.send(ipc::FrameType::kError, ipc::encode_error(e.what()));
+    return 2;
+  }
+
+  // Rebuild the task context.  kSample re-runs the deterministic simplify
+  // pipeline on the shipped original formula, reproducing the parent's
+  // shrunk formula AND the reconstruction stack — the part of
+  // UniGenPrepared that cannot cheaply cross a process boundary.
+  Cnf original;
+  UniGenPrepared prep;
+  UniGenOptions ug_options;
+  ApproxMcOptions count_options;
+  std::unique_ptr<IncrementalBsat> engine;
+  try {
+    original = parse_dimacs_string(setup.formula_dimacs);
+    original.ensure_vars(setup.formula_vars);
+    if (setup.kind == ipc::TaskKind::kCount) {
+      engine = std::make_unique<IncrementalBsat>(original, setup.sampling_set);
+    } else {
+      prep.mode = static_cast<UniGenPrepared::Mode>(setup.prep_mode);
+      prep.kp.kappa = setup.kappa;
+      prep.kp.pivot = setup.kp_pivot;
+      prep.kp.lo_thresh = setup.lo_thresh;
+      prep.kp.hi_thresh = setup.hi_thresh;
+      prep.q = setup.q;
+      prep.approx_log2_count = setup.approx_log2_count;
+      if (setup.simplify.enabled)
+        prep.simplifier = std::make_shared<const Simplifier>(
+            original, setup.simplify, setup.sampling_set);
+      ug_options.epsilon = setup.epsilon;
+      ug_options.simplify = setup.simplify;
+      ug_options.bsat_timeout_s = setup.bsat_timeout_s;
+      ug_options.sample_timeout_s = setup.sample_timeout_s;
+      engine = std::make_unique<IncrementalBsat>(prep.formula(original),
+                                                 setup.sampling_set);
+    }
+  } catch (const std::exception& e) {
+    writer.send(ipc::FrameType::kError, ipc::encode_error(e.what()));
+    return 2;
+  }
+
+  if (!writer.send(ipc::FrameType::kReady, std::string())) return 0;
+  const char* hb_env = std::getenv("UNIGEN_WORKERD_HEARTBEAT_S");
+  const double hb_interval =
+      hb_env != nullptr ? std::max(0.01, std::atof(hb_env)) : 0.25;
+  std::thread heartbeat(heartbeat_main, &writer, hb_interval);
+  heartbeat.detach();  // process exit is its only shutdown
+
+  UniGenStats scratch_stats;
+  while (ipc::read_frame(fd, type, body)) {
+    if (type != ipc::FrameType::kTask) continue;
+    ipc::TaskMsg task;
+    try {
+      task = ipc::decode_task(body);
+    } catch (const std::exception& e) {
+      writer.send(ipc::FrameType::kError, ipc::encode_error(e.what()));
+      continue;
+    }
+    for (const FaultDirective& d : faults)
+      if (d.task == task.task_id && d.attempt == task.attempt)
+        apply_fault(d, writer);
+
+    ipc::ResultMsg result;
+    result.task_id = task.task_id;
+    result.kind = setup.kind;
+    try {
+      Rng rng = Rng::from_state(task.rng_state);
+      // Per-call Budget scalars ride on the task frame; pointers (cancel
+      // token, in-process fault plan) cannot cross — cancellation is the
+      // supervisor's kill, faults are UNIGEN_WORKERD_FAULTS.
+      Budget task_budget;
+      task_budget.deadline = task.deadline_s > 0.0
+                                 ? Deadline::in_seconds(task.deadline_s)
+                                 : Deadline::never();
+      task_budget.bsat_timeout_s = task.bsat_timeout_s;
+      task_budget.max_bsat_calls = task.max_bsat_calls;
+      task_budget.conflicts_per_call = task.conflicts_per_call;
+      if (setup.kind == ipc::TaskKind::kCount) {
+        count_options.budget = task_budget;
+        const ApproxMcCoreOutcome o = approxmc_core_iteration(
+            *engine, setup.n, setup.pivot, count_options, task.start_m, rng,
+            /*fault_key=*/task.task_id);
+        result.ok = o.ok ? 1 : 0;
+        result.timed_out = o.timed_out ? 1 : 0;
+        result.cancelled = o.cancelled ? 1 : 0;
+        result.faulted = o.faulted ? 1 : 0;
+        result.leapfrogged = o.leapfrogged ? 1 : 0;
+        result.cell_count = o.cell_count;
+        result.hash_count = o.hash_count;
+        result.bsat_calls = o.bsat_calls;
+      } else {
+        ug_options.budget = task_budget;
+        const std::uint64_t before_calls = scratch_stats.sample_bsat_calls;
+        const std::uint64_t before_retries = scratch_stats.bsat_timeout_retries;
+        AcceptCellResult r = unigen_accept_cell(
+            *engine, setup.sampling_set, prep, ug_options,
+            static_cast<Var>(setup.formula_vars), rng, scratch_stats,
+            /*fault_key=*/task.task_id);
+        result.sample_bsat_calls =
+            scratch_stats.sample_bsat_calls - before_calls;
+        result.timeout_retries =
+            scratch_stats.bsat_timeout_retries - before_retries;
+        if (task.max_batch == 0) {
+          SampleResult s = finish_single_from_cell(std::move(r), rng);
+          result.sample_status = static_cast<std::uint8_t>(s.status);
+          if (s.ok()) result.models.push_back(std::move(s.witness));
+        } else {
+          BatchResult b = finish_batch_from_cell(
+              std::move(r), static_cast<std::size_t>(task.max_batch), rng);
+          result.sample_status = static_cast<std::uint8_t>(b.status);
+          result.models = std::move(b.models);
+        }
+      }
+    } catch (const std::exception& e) {
+      writer.send(ipc::FrameType::kError, ipc::encode_error(e.what()));
+      continue;
+    }
+    if (!writer.send(ipc::FrameType::kResult, ipc::encode_result(result)))
+      return 0;  // parent gone
+  }
+  return 0;  // EOF: supervisor closed the channel
+}
+
+}  // namespace
+}  // namespace unigen
+
+int main(int argc, char** argv) {
+  int fd = 3;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--fd") == 0) fd = std::atoi(argv[i + 1]);
+  }
+  return unigen::worker_main(fd);
+}

@@ -9,6 +9,7 @@
 // Seeding from std::random_device reproduces the paper's behaviour; seeding
 // from a fixed value makes every experiment in this repository replayable.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -77,6 +78,18 @@ class Rng {
   /// non-overlapping length-2^128 blocks, an alternative to fork_stream for
   /// long-lived per-thread generators.
   void jump();
+
+  /// The raw engine state, for shipping a generator across a process
+  /// boundary (service/ipc.hpp).  from_state(a.state()) draws the exact
+  /// same sequence as `a` — the determinism contract survives transport.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  static Rng from_state(const std::array<std::uint64_t, 4>& s) {
+    Rng r(0);
+    for (int i = 0; i < 4; ++i) r.s_[i] = s[static_cast<std::size_t>(i)];
+    return r;
+  }
 
  private:
   std::uint64_t s_[4];

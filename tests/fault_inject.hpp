@@ -11,6 +11,12 @@
 // thread-safe: the decision is a pure function, and the only mutable state
 // is the relaxed fired-counter used by tests to assert that every scheduled
 // fault actually surfaced.
+//
+// Process-level faults (worker self-SIGKILL, sleep-forever hangs) follow
+// the same (key, attempt) keying but cannot ride a function pointer across
+// an exec boundary — they travel as the UNIGEN_WORKERD_FAULTS env var,
+// built by ProcessFaultPlan (service/fleet_options.hpp) and interpreted by
+// the unigen_workerd binary.
 
 #include <cstdint>
 #include <initializer_list>

@@ -75,6 +75,78 @@ TEST(BudgetTest, PerCallDeadlineCapsByTimeout) {
   EXPECT_GT(c.per_call_deadline().remaining_seconds(), 100.0);
 }
 
+TEST(BudgetTest, AdmissionStatusAtTheBoundaries) {
+  // A live budget admits.
+  EXPECT_EQ(Budget::unlimited().admission_status(), RequestStatus::kComplete);
+  EXPECT_EQ(Budget::within_seconds(100.0).admission_status(),
+            RequestStatus::kComplete);
+  // Zero and negative wall deadlines are born expired.
+  EXPECT_EQ(Budget::within_seconds(0.0).admission_status(),
+            RequestStatus::kTimedOut);
+  EXPECT_EQ(Budget::within_seconds(-1.0).admission_status(),
+            RequestStatus::kTimedOut);
+  // A pre-tripped cancel token wins over an expired deadline: the caller
+  // asked for the request to stop, which is the more specific truth.
+  CancelToken token;
+  token.cancel();
+  Budget b = Budget::within_seconds(0.0);
+  b.cancel = &token;
+  EXPECT_EQ(b.admission_status(), RequestStatus::kCancelled);
+  // max_bsat_calls is NOT an admission question: 0 is the documented
+  // "unlimited" sentinel and any positive grant admits at least one probe.
+  Budget units;
+  units.max_bsat_calls = 1;
+  EXPECT_EQ(units.admission_status(), RequestStatus::kComplete);
+}
+
+TEST(BudgetTest, DegenerateDeadlineCountsReturnBeforeAnyProbe) {
+  // in_seconds(0) and in_seconds(-1) must yield kTimedOut with ZERO BSAT
+  // calls — deterministically, on any machine, not racing the first probe.
+  Cnf cnf(6);
+  cnf.add_clause({Lit(0, false), Lit(1, false)});
+  for (const double s : {0.0, -1.0}) {
+    ApproxMcOptions options;
+    options.budget = Budget::within_seconds(s);
+    Rng rng(11);
+    const ApproxMcAnytime any = approx_count_anytime(cnf, options, rng);
+    EXPECT_EQ(any.status, RequestStatus::kTimedOut) << "deadline " << s;
+    EXPECT_FALSE(any.result.valid);
+    EXPECT_TRUE(any.result.timed_out);
+    EXPECT_EQ(any.result.bsat_calls, 0u) << "probe ran despite dead budget";
+  }
+  // Pre-tripped cancellation: same guarantee, kCancelled.
+  CancelToken token;
+  token.cancel();
+  ApproxMcOptions options;
+  options.budget.cancel = &token;
+  Rng rng(11);
+  const ApproxMcAnytime any = approx_count_anytime(cnf, options, rng);
+  EXPECT_EQ(any.status, RequestStatus::kCancelled);
+  EXPECT_EQ(any.result.bsat_calls, 0u);
+}
+
+TEST(BudgetTest, UnitBudgetBoundaryOneAndUnlimited) {
+  // max_bsat_calls == 1 admits exactly the prologue probe; on a formula the
+  // prologue counts exactly, that single unit completes the request.
+  Cnf cnf(3);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  ApproxMcOptions options;
+  options.budget.max_bsat_calls = 1;
+  Rng rng(5);
+  const ApproxMcAnytime one = approx_count_anytime(cnf, options, rng);
+  EXPECT_EQ(one.status, RequestStatus::kComplete);
+  EXPECT_TRUE(one.result.exact);
+  EXPECT_EQ(one.result.bsat_calls, 1u);
+  // max_bsat_calls == 0 is unlimited, not zero-work (the boundary the
+  // admission guard must NOT misread).
+  ApproxMcOptions unlimited;
+  unlimited.budget.max_bsat_calls = 0;
+  Rng rng2(5);
+  const ApproxMcAnytime full = approx_count_anytime(cnf, unlimited, rng2);
+  EXPECT_EQ(full.status, RequestStatus::kComplete);
+  EXPECT_TRUE(full.result.valid);
+}
+
 TEST(ScheduledFaultsTest, FiresExactlyOnPlan) {
   ScheduledFaults faults{{2, 0}, {2, 1}, {5, 3}};
   EXPECT_EQ(faults.planned(), 3u);

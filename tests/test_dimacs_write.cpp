@@ -1,0 +1,136 @@
+// Tests for the canonical DIMACS/XOR writer (cnf/dimacs_write.hpp): one
+// byte-exact serialization per formula structure, parse→write→parse
+// structural round trips, and the declared-empty sampling-set encoding.
+
+#include <gtest/gtest.h>
+
+#include "cnf/dimacs.hpp"
+#include "cnf/dimacs_write.hpp"
+#include "helpers.hpp"
+
+namespace unigen {
+namespace {
+
+/// Structural equality of the parts canonical form promises to preserve.
+void expect_same_structure(const Cnf& a, const Cnf& b) {
+  EXPECT_EQ(a.num_vars(), b.num_vars());
+  EXPECT_EQ(a.clauses(), b.clauses());
+  EXPECT_EQ(a.xors(), b.xors());
+  EXPECT_EQ(a.sampling_set(), b.sampling_set());
+}
+
+TEST(DimacsWrite, PureFunctionOfStructureIgnoresName) {
+  Cnf a(3);
+  a.add_clause({Lit(0, false), Lit(1, true)});
+  a.name = "instance-a";
+  Cnf b(3);
+  b.add_clause({Lit(0, false), Lit(1, true)});
+  b.name = "a different name";
+  EXPECT_EQ(to_dimacs_canonical_string(a), to_dimacs_canonical_string(b));
+  // The legacy writer keeps the name header but delegates the body: it must
+  // be exactly name comment + canonical form.
+  EXPECT_EQ(to_dimacs_string(a),
+            "c instance-a\n" + to_dimacs_canonical_string(a));
+}
+
+TEST(DimacsWrite, RoundTripHandWritten) {
+  Cnf cnf(5);
+  cnf.add_clause({Lit(0, false), Lit(1, true), Lit(4, false)});
+  cnf.add_unit(Lit(2, true));
+  cnf.add_xor({0, 2, 3}, true);
+  cnf.add_xor({1, 4}, false);
+  cnf.set_sampling_set({0, 1, 3});
+  const Cnf back = parse_dimacs_string(to_dimacs_canonical_string(cnf));
+  expect_same_structure(cnf, back);
+}
+
+TEST(DimacsWrite, DeclaredEmptySamplingSetSurvives) {
+  // "S = {}" and "no S declared" mean different projections; the writer
+  // must keep them distinguishable.
+  Cnf declared_empty(2);
+  declared_empty.add_clause({Lit(0, false), Lit(1, false)});
+  declared_empty.set_sampling_set({});
+  const std::string text = to_dimacs_canonical_string(declared_empty);
+  EXPECT_NE(text.find("c ind 0\n"), std::string::npos) << text;
+  const Cnf back = parse_dimacs_string(text);
+  ASSERT_TRUE(back.sampling_set().has_value());
+  EXPECT_TRUE(back.sampling_set()->empty());
+
+  Cnf undeclared(2);
+  undeclared.add_clause({Lit(0, false), Lit(1, false)});
+  const std::string text2 = to_dimacs_canonical_string(undeclared);
+  EXPECT_EQ(text2.find("c ind"), std::string::npos) << text2;
+  EXPECT_FALSE(parse_dimacs_string(text2).sampling_set().has_value());
+}
+
+TEST(DimacsWrite, SamplingSetWrapsAtTenPerLine) {
+  Cnf cnf(13);
+  std::vector<Var> all;
+  for (Var v = 0; v < 13; ++v) all.push_back(v);
+  cnf.set_sampling_set(all);
+  const std::string text = to_dimacs_canonical_string(cnf);
+  EXPECT_NE(text.find("c ind 1 2 3 4 5 6 7 8 9 10 0\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("c ind 11 12 13 0\n"), std::string::npos) << text;
+  expect_same_structure(cnf, parse_dimacs_string(text));
+}
+
+TEST(DimacsWrite, XorRhsEncodedInFirstLiteralSign) {
+  Cnf cnf(3);
+  cnf.add_xor({0, 1, 2}, true);
+  cnf.add_xor({0, 1, 2}, false);
+  const std::string text = to_dimacs_canonical_string(cnf);
+  EXPECT_NE(text.find("x1 2 3 0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("x-1 2 3 0\n"), std::string::npos) << text;
+  expect_same_structure(cnf, parse_dimacs_string(text));
+}
+
+TEST(DimacsWrite, ConstantXorRowsPreserveSatisfiability) {
+  // rhs=false (tautology) is elided; structure changes but semantics don't.
+  Cnf taut(2);
+  taut.add_clause({Lit(0, false)});
+  taut.add_xor(XorConstraint{{}, false});
+  const Cnf taut_back = parse_dimacs_string(to_dimacs_canonical_string(taut));
+  EXPECT_EQ(taut_back.num_xors(), 0u);
+  EXPECT_EQ(test::brute_force_count(taut_back), test::brute_force_count(taut));
+
+  // rhs=true (contradiction) becomes the empty clause: still unsatisfiable.
+  Cnf contra(2);
+  contra.add_clause({Lit(0, false)});
+  contra.add_xor(XorConstraint{{}, true});
+  EXPECT_EQ(test::brute_force_count(contra), 0u);
+  const Cnf back = parse_dimacs_string(to_dimacs_canonical_string(contra));
+  EXPECT_EQ(test::brute_force_count(back), 0u);
+}
+
+TEST(DimacsWrite, RandomizedRoundTripAndFixpoint) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const test::FuzzCase fc = test::make_fuzz_case(seed);
+    const std::string text = to_dimacs_canonical_string(fc.cnf);
+    const Cnf back = parse_dimacs_string(text);
+    expect_same_structure(fc.cnf, back);
+    // write is a retraction of parse: one more round trip is byte-stable.
+    EXPECT_EQ(to_dimacs_canonical_string(back), text) << "seed " << seed;
+  }
+}
+
+TEST(DimacsWrite, ParseOfForeignTextReachesCanonicalFixpoint) {
+  // Liberal input (wrapping, comments, multiple clauses per line, an xor
+  // with several negations) normalizes in one parse→write step.
+  const std::string liberal =
+      "c some header\r\n"
+      "p cnf 4 3\n"
+      "1 2\n"
+      "c interrupting comment\n"
+      "-3 0 4 0\n"
+      "x-1 -2 3 0\n"
+      "c ind 2 4 0\n";
+  const Cnf first = parse_dimacs_string(liberal);
+  const std::string canon = to_dimacs_canonical_string(first);
+  const Cnf second = parse_dimacs_string(canon);
+  expect_same_structure(first, second);
+  EXPECT_EQ(to_dimacs_canonical_string(second), canon);
+}
+
+}  // namespace
+}  // namespace unigen

@@ -212,5 +212,46 @@ TEST(SamplerPool, PreparedStateMatchesUniGen) {
   EXPECT_GT(st.prepare.prepare_bsat_calls, 0u);
 }
 
+TEST(SamplerPool, DegenerateBudgetStampsHonestlyBeforeAnyWork) {
+  const Cnf cnf = hashed_mode_formula();
+  SamplerPool pool(cnf, pool_options(2, 31));
+  // A born-expired deadline: every slot reports kTimeout, zero BSAT calls
+  // (prepare never ran), and the stream ledger still advances.
+  const SampleManyResult dead =
+      pool.sample_many_within(5, Budget::within_seconds(0.0));
+  EXPECT_EQ(dead.status, RequestStatus::kTimedOut);
+  ASSERT_EQ(dead.samples.size(), 5u);
+  for (const auto& r : dead.samples)
+    EXPECT_EQ(r.status, SampleResult::Status::kTimeout);
+  EXPECT_EQ(pool.stats().prepare.prepare_bsat_calls, 0u);
+  EXPECT_EQ(pool.stats().samples_timed_out, 5u);
+
+  CancelToken token;
+  token.cancel();
+  Budget cancelled;
+  cancelled.cancel = &token;
+  const SampleBatchesResult dead_batches =
+      pool.sample_batches_within(3, 4, cancelled);
+  EXPECT_EQ(dead_batches.status, RequestStatus::kCancelled);
+  ASSERT_EQ(dead_batches.batches.size(), 3u);
+  for (const auto& b : dead_batches.batches)
+    EXPECT_EQ(b.status, SampleResult::Status::kCancelled);
+
+  // The pool is untouched: a live follow-up request serves completely, and
+  // its streams resume after the 5 + 3 consumed by the dead requests —
+  // identical to a fresh pool whose first 8 streams were served normally.
+  const SampleManyResult live =
+      pool.sample_many_within(4, Budget::unlimited());
+  EXPECT_EQ(live.status, RequestStatus::kComplete);
+
+  SamplerPool fresh(cnf, pool_options(2, 31));
+  const auto all = fresh.sample_many_within(12, Budget::unlimited());
+  ASSERT_EQ(all.samples.size(), 12u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(live.samples[i].status, all.samples[8 + i].status);
+    EXPECT_EQ(live.samples[i].witness, all.samples[8 + i].witness);
+  }
+}
+
 }  // namespace
 }  // namespace unigen
