@@ -92,8 +92,7 @@ int main() {
               "for every witness and loses by roughly prepare/sample-cost; "
               "the gap widens with k.\n");
 
-  BenchJson json;
-  json.add("bench", "ablation_amortize");
+  BenchJson json("ablation_amortize");
   json.add("witnesses", k);
   json.add("amortized_wall_s", amortized_total);
   json.add("amortized_prepare_s", amortized_prepare);

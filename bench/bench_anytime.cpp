@@ -196,8 +196,7 @@ int main() {
         "(instance too small at this scale)\n");
   }
 
-  bench::BenchJson json;
-  json.add("bench", "anytime");
+  bench::BenchJson json("anytime");
   json.add("suite", "table1");
   json.add("scale", scale);
   json.add("instances", static_cast<std::uint64_t>(suite.size()));

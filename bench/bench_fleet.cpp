@@ -313,13 +313,11 @@ int main(int argc, char** argv) {
               "%.3f s\n",
               inproc_wall_s, fleet_wall_s);
 
-  bench::BenchJson json;
-  json.add("bench", "fleet");
+  bench::BenchJson json("fleet");
   json.add("suite", smoke ? "smoke" : "full");
   json.add("formulas", static_cast<std::uint64_t>(suite.size()));
   json.add("singles_per_run", static_cast<std::uint64_t>(singles));
   json.add("batches_per_run", static_cast<std::uint64_t>(batches));
-  json.add("hardware_threads", static_cast<std::uint64_t>(hw));
   json.add("inproc_wall_s", inproc_wall_s);
   json.add("fleet_wall_s", fleet_wall_s);
   json.add("crashes", crashes_total);

@@ -87,8 +87,7 @@ void write_hash_count_json() {
   const ApproxMcResult r = approx_count(cnf, opts, rng);
   const double wall = watch.seconds();
 
-  unigen::bench::BenchJson json;
-  json.add("bench", "micro_hash_count");
+  unigen::bench::BenchJson json("micro_hash_count");
   json.add("workload", "approxmc_free_vars_20");
   json.add("wall_s", wall);
   json.add("valid", static_cast<std::uint64_t>(r.valid ? 1 : 0));

@@ -1,0 +1,195 @@
+// bench_obs — the observability layer's two contracts, gated:
+//
+//   * byte-transparency: turning tracing on changes NOTHING the service
+//     returns.  A SamplerPool's sample_many / sample_batches streams and an
+//     approx_count estimate are compared byte-for-byte between an untraced
+//     run and a traced run (fresh engines each time, same seed) — the spans
+//     live strictly outside the RNG/keyed-stream paths, and this is the
+//     gate that keeps them there;
+//   * disabled-path overhead: with tracing off (the default), every
+//     instrumentation site costs one relaxed atomic load.  The gate
+//     measures that op directly (a tight microbench of the disabled Span +
+//     Counter path), multiplies by the number of events the traced run
+//     actually recorded, and requires the projected overhead to stay ≤ 2%
+//     of the untraced wall time.  Projection instead of wall-vs-wall
+//     because on a 1-core container two wall clocks differ by scheduler
+//     noise far larger than the effect being measured.
+//
+// The traced run's span count, drop count, and the per-op cost land in
+// BENCH_obs.json.  `--smoke` shrinks the request counts so the run fits in
+// the tier-1 ctest budget; every gate is identical in both modes.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "counting/approxmc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/sampler_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace unigen;
+
+constexpr std::uint64_t kSeed = 0x0B5DAC14ull;
+
+Cnf hashed_formula() {
+  Cnf cnf(10);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  cnf.add_clause({Lit(3, false), Lit(4, true)});
+  cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+  cnf.add_clause({Lit(8, false), Lit(9, false), Lit(0, true)});
+  return cnf;
+}
+
+struct RunBytes {
+  std::vector<SampleResult> singles;
+  std::vector<BatchResult> batches;
+  double count_log2 = 0.0;
+  std::uint64_t count_cells = 0;
+  unsigned count_hashes = 0;
+  double wall_s = 0.0;
+};
+
+/// One full service pass — fresh pool, fresh counter RNG — whose result
+/// bytes must not depend on whether tracing is on.
+RunBytes run_service(const Cnf& cnf, std::size_t singles,
+                     std::size_t batches, std::size_t batch_size) {
+  RunBytes out;
+  const Stopwatch watch;
+  SamplerPoolOptions options;
+  options.num_threads = 2;
+  options.seed = kSeed;
+  SamplerPool pool(cnf, options);
+  out.singles = pool.sample_many(singles);
+  out.batches = pool.sample_batches(batches, batch_size);
+  ApproxMcOptions copts;
+  copts.num_threads = 2;
+  Rng rng(kSeed);
+  const ApproxMcResult r = approx_count(cnf, copts, rng);
+  out.count_log2 = r.log2_value();
+  out.count_cells = r.cell_count;
+  out.count_hashes = r.hash_count;
+  out.wall_s = watch.seconds();
+  return out;
+}
+
+bool same_bytes(const RunBytes& a, const RunBytes& b) {
+  if (a.singles.size() != b.singles.size()) return false;
+  for (std::size_t i = 0; i < a.singles.size(); ++i)
+    if (a.singles[i].status != b.singles[i].status ||
+        a.singles[i].witness != b.singles[i].witness)
+      return false;
+  if (a.batches.size() != b.batches.size()) return false;
+  for (std::size_t i = 0; i < a.batches.size(); ++i)
+    if (a.batches[i].status != b.batches[i].status ||
+        a.batches[i].models != b.batches[i].models)
+      return false;
+  return a.count_log2 == b.count_log2 && a.count_cells == b.count_cells &&
+         a.count_hashes == b.count_hashes;
+}
+
+/// The per-event cost when tracing is off: a Span whose init path sees
+/// enabled() == false plus one disabled Counter::add — exactly what a hot
+/// site pays per event.  Volatile sink so the loop cannot be elided.
+double disabled_op_ns(std::uint64_t reps) {
+  obs::set_enabled(false);
+  obs::Counter& c = obs::metrics().counter("obs.bench.disabled_probe");
+  volatile std::uint64_t sink = 0;
+  const Stopwatch watch;
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    obs::Span s("bench.noop");
+    c.add();
+    sink = sink + 1;
+  }
+  const double ns = watch.seconds() * 1e9;
+  return ns / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::size_t singles = smoke ? 24 : 200;
+  const std::size_t batches = smoke ? 6 : 40;
+  const std::size_t batch_size = 4;
+  const Cnf cnf = hashed_formula();
+
+  std::printf("obs bench: %zu singles, %zu batches of %zu%s\n", singles,
+              batches, batch_size, smoke ? " (smoke)" : "");
+
+  // Untraced reference (tracing defaults off; make it explicit).
+  obs::set_enabled(false);
+  obs::metrics().reset();
+  obs::clear_all();
+  const RunBytes off = run_service(cnf, singles, batches, batch_size);
+
+  // Traced run: identical request sequence, spans and metrics recording.
+  obs::set_enabled(true);
+  const RunBytes on = run_service(cnf, singles, batches, batch_size);
+  const std::vector<obs::TraceEvent> events = obs::snapshot_events();
+  const std::uint64_t dropped = obs::dropped_events();
+  std::uint64_t metric_events = 0;
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  for (const auto& row : snap.counters) metric_events += row.value;
+  for (const auto& row : snap.histograms) metric_events += row.count;
+  obs::set_enabled(false);
+
+  const bool identical = same_bytes(off, on);
+  const bool traced = !events.empty() && metric_events > 0;
+
+  // Projected disabled-path overhead over the untraced wall time.
+  const std::uint64_t reps = smoke ? 2'000'000 : 20'000'000;
+  const double op_ns = disabled_op_ns(reps);
+  const std::uint64_t event_total =
+      static_cast<std::uint64_t>(events.size()) + dropped + metric_events;
+  const double overhead_off_pct =
+      off.wall_s > 0.0
+          ? 100.0 * (op_ns * static_cast<double>(event_total) / 1e9) /
+                off.wall_s
+          : 0.0;
+  const bool overhead_ok = overhead_off_pct <= 2.0;
+
+  std::printf("tracing on/off byte-identity:   %s\n",
+              identical ? "identical" : "DIVERGED");
+  std::printf("traced run recorded:            %zu spans (%llu dropped), "
+              "%llu metric events\n",
+              events.size(), static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(metric_events));
+  std::printf("disabled-path op:               %.2f ns\n", op_ns);
+  std::printf("projected overhead (off):       %.4f%% of %.3f s wall  %s\n",
+              overhead_off_pct, off.wall_s,
+              overhead_ok ? "(<= 2% gate)" : "(OVER the 2% gate)");
+
+  unigen::bench::BenchJson json("obs");
+  json.add("suite", smoke ? "smoke" : "full");
+  json.add("singles", static_cast<std::uint64_t>(singles));
+  json.add("batches", static_cast<std::uint64_t>(batches));
+  json.add("wall_s_untraced", off.wall_s);
+  json.add("wall_s_traced", on.wall_s);
+  json.add("spans_recorded", static_cast<std::uint64_t>(events.size()));
+  json.add("spans_dropped", dropped);
+  json.add("metric_events", metric_events);
+  json.add("disabled_op_ns", op_ns);
+  json.add("overhead_off_pct", overhead_off_pct);
+  json.add("identical_on_off",
+           static_cast<std::uint64_t>(identical ? 1 : 0));
+  json.add("traced_run_recorded",
+           static_cast<std::uint64_t>(traced ? 1 : 0));
+  json.add("overhead_gate_ok",
+           static_cast<std::uint64_t>(overhead_ok ? 1 : 0));
+  json.add("invariant_violations",
+           static_cast<std::uint64_t>((identical ? 0 : 1) +
+                                      (traced ? 0 : 1) +
+                                      (overhead_ok ? 0 : 1)));
+  json.write("BENCH_obs.json");
+
+  return (identical && traced && overhead_ok) ? 0 : 1;
+}

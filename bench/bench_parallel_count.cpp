@@ -185,13 +185,11 @@ int main() {
               "stays window=1)\n",
               median_improves_cold ? "yes" : "no");
 
-  bench::BenchJson json;
-  json.add("bench", "parallel_count");
+  bench::BenchJson json("parallel_count");
   json.add("suite", "table1");
   json.add("scale", scale);
   json.add("instances", static_cast<std::uint64_t>(suite.size()));
   json.add("iterations_per_count", static_cast<std::uint64_t>(iterations));
-  json.add("hardware_threads", static_cast<std::uint64_t>(hw));
   json.add("wall_s_threads_1", runs[0].seconds);
   json.add("wall_s_threads_2", runs[1].seconds);
   json.add("wall_s_threads_4", runs[2].seconds);

@@ -128,8 +128,7 @@ int main() {
   std::printf("one solver build per serving worker:         %s\n",
               one_build ? "yes" : "NO");
 
-  bench::BenchJson json;
-  json.add("bench", "parallel_scaling");
+  bench::BenchJson json("parallel_scaling");
   json.add("workload", cnf.name.c_str());
   json.add("requests", static_cast<std::uint64_t>(requests));
   json.add("hardware_threads", static_cast<std::uint64_t>(hw));

@@ -329,15 +329,13 @@ int main(int argc, char** argv) {
   std::printf("capped LRU script:                   %s\n",
               lru_ok ? "exact" : "WRONG");
 
-  bench::BenchJson json;
-  json.add("bench", "server");
+  bench::BenchJson json("server");
   json.add("suite", smoke ? "smoke" : "table1");
   json.add("scale", scale);
   json.add("formulas", static_cast<std::uint64_t>(instances.size()));
   json.add("prepared", static_cast<std::uint64_t>(prepared_count));
   json.add("samples_per_request", static_cast<std::uint64_t>(samples));
   json.add("warm_rounds", static_cast<std::uint64_t>(rounds));
-  json.add("hardware_threads", static_cast<std::uint64_t>(hw));
   json.add("cold_wall_s", measured.cold_s);
   json.add("warm_wall_s", measured.warm_s);
   json.add("cold_request_avg_s", cold_avg);

@@ -143,8 +143,7 @@ int main() {
               static_cast<unsigned long long>(counts_identical),
               static_cast<unsigned long long>(samples_identical));
 
-  BenchJson json;
-  json.add("bench", "simplify_ab");
+  BenchJson json("simplify_ab");
   json.add("scale", scale);
   json.add("instances", instances);
   json.add("samples_per_instance", samples);

@@ -16,19 +16,42 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "core/unigen.hpp"
 #include "core/uniwit.hpp"
 #include "util/timer.hpp"
 #include "workloads/suite.hpp"
 
+// Baked in at configure time (CMake runs `git describe`); "unknown" when
+// building outside a checkout.
+#ifndef UNIGEN_GIT_DESCRIBE
+#define UNIGEN_GIT_DESCRIBE "unknown"
+#endif
+
 namespace unigen::bench {
+
+/// Bumped whenever the shared BENCH_*.json preamble changes shape.
+/// v2: bench/schema_version/hardware_threads/git_describe header fields.
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
 
 /// Minimal flat-JSON emitter for machine-readable bench results
 /// (BENCH_*.json), so the perf trajectory can be tracked across PRs:
 /// wall-clock, BSAT-call and solver-rebuild counters per bench.
 class BenchJson {
  public:
+  BenchJson() = default;
+  /// The versioned preamble every BENCH_*.json shares, so a committed
+  /// file says what produced it: bench name, schema_version,
+  /// hardware_threads, and the configure-time git describe.
+  explicit BenchJson(const char* bench) {
+    add("bench", bench);
+    add("schema_version", kBenchSchemaVersion);
+    add("hardware_threads",
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    add("git_describe", UNIGEN_GIT_DESCRIBE);
+  }
+
   void add(const char* key, double v) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6f", v);

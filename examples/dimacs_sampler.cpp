@@ -2,25 +2,51 @@
 // read a DIMACS CNF (with optional `c ind` sampling-set lines and `x` XOR
 // clauses), draw K almost-uniform witnesses, print them as v-lines.
 //
-//   usage: dimacs_sampler <file.cnf> [num_samples=10] [epsilon=6] [seed]
+//   usage: dimacs_sampler [--trace-out t.jsonl] [--stats-json s.json]
+//                         <file.cnf> [num_samples=10] [epsilon=6] [seed]
 //
 // With no file argument, a small demo formula is sampled instead so the
 // example is runnable out of the box.
+// --trace-out / --stats-json switch the observability layer on and export
+// the sample.request span trees and the sampler's UniGenStats as JSON.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "cnf/dimacs.hpp"
 #include "core/unigen.hpp"
+#include "obs/stats_json.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace unigen;
 
+  std::string trace_out, stats_json;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace-out") == 0)
+      trace_out = next("--trace-out");
+    else if (std::strcmp(argv[i], "--stats-json") == 0)
+      stats_json = next("--stats-json");
+    else
+      pos.push_back(argv[i]);
+  }
+  if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
+
   Cnf cnf;
-  if (argc > 1) {
+  if (!pos.empty()) {
     try {
-      cnf = parse_dimacs_file(argv[1]);
+      cnf = parse_dimacs_file(pos[0]);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -34,10 +60,11 @@ int main(int argc, char** argv) {
         "-3 4 0\n"
         "x5 6 0\n");
   }
-  const int num_samples = argc > 2 ? std::atoi(argv[2]) : 10;
-  const double epsilon = argc > 3 ? std::atof(argv[3]) : 6.0;
+  const int num_samples = pos.size() > 1 ? std::atoi(pos[1]) : 10;
+  const double epsilon = pos.size() > 2 ? std::atof(pos[2]) : 6.0;
   const std::uint64_t seed =
-      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 0xDAC14;
+      pos.size() > 3 ? static_cast<std::uint64_t>(std::atoll(pos[3]))
+                     : 0xDAC14;
 
   std::printf("c %s\n", cnf.summary().c_str());
   if (!cnf.sampling_set().has_value())
@@ -61,7 +88,7 @@ int main(int argc, char** argv) {
       return 20;
     }
     if (r.status == SampleResult::Status::kTimeout) {
-      std::fprintf(stderr, "error: sampling timed out\n");
+      std::fprintf(stderr, "error: sampling %s\n", obs::to_string(r.status));
       return 1;
     }
     if (!r.ok()) {
@@ -80,5 +107,18 @@ int main(int argc, char** argv) {
   std::printf("c success rate %.3f, avg xor length %.1f, q=%d\n",
               sampler.stats().success_rate(),
               sampler.stats().average_xor_length(), sampler.stats().q);
+  if (!trace_out.empty() && obs::write_trace_jsonl(trace_out))
+    std::printf("c wrote %s\n", trace_out.c_str());
+  if (!stats_json.empty()) {
+    std::FILE* f = std::fopen(stats_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", stats_json.c_str());
+      return 1;
+    }
+    const std::string text = obs::to_json(sampler.stats()).dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("c wrote %s\n", stats_json.c_str());
+  }
   return 0;
 }

@@ -1,8 +1,13 @@
 // parallel_counter — the counting-service CLI: approximate a DIMACS
 // instance's (projected) model count on N threads.
 //
-//   $ ./parallel_counter formula.cnf [threads] [epsilon] [delta]
+//   $ ./parallel_counter [--trace-out t.jsonl] [--stats-json s.json]
+//                        formula.cnf [threads] [epsilon] [delta]
 //   $ ./parallel_counter                       # built-in demo workload
+//
+// --trace-out / --stats-json switch the observability layer on and export
+// the count's span tree (count.request → count.iteration → hash.probe →
+// bsat.call) and the metric registry.
 //
 // The count is a deterministic function of (formula, epsilon, delta, seed)
 // alone: running with 1, 4 or 32 threads returns the same estimate, only
@@ -14,22 +19,46 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "cnf/dimacs.hpp"
 #include "counting/approxmc.hpp"
+#include "obs/trace.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 #include "workloads/circuits.hpp"
 
 int main(int argc, char** argv) {
   using namespace unigen;
 
+  std::string trace_out, stats_json;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace-out") == 0)
+      trace_out = next("--trace-out");
+    else if (std::strcmp(argv[i], "--stats-json") == 0)
+      stats_json = next("--stats-json");
+    else
+      pos.push_back(argv[i]);
+  }
+  if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
+
   Cnf cnf;
-  if (argc > 1) {
+  if (!pos.empty()) {
     try {
-      cnf = parse_dimacs_file(argv[1]);
+      cnf = parse_dimacs_file(pos[0]);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "cannot read %s: %s\n", argv[1], e.what());
+      std::fprintf(stderr, "cannot read %s: %s\n", pos[0], e.what());
       return 1;
     }
   } else {
@@ -44,9 +73,9 @@ int main(int argc, char** argv) {
   }
 
   ApproxMcOptions opts;
-  opts.num_threads = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 0;
-  if (argc > 3) opts.epsilon = std::atof(argv[3]);
-  if (argc > 4) opts.delta = std::atof(argv[4]);
+  opts.num_threads = pos.size() > 1 ? std::strtoul(pos[1], nullptr, 10) : 0;
+  if (pos.size() > 2) opts.epsilon = std::atof(pos[2]);
+  if (pos.size() > 3) opts.delta = std::atof(pos[3]);
 
   const std::size_t display_threads =
       opts.num_threads == 0
@@ -86,5 +115,9 @@ int main(int argc, char** argv) {
                 w,
                 static_cast<unsigned long long>(r.workers[w].solver_rebuilds),
                 static_cast<unsigned long long>(r.workers[w].reused_solves));
+  if (!trace_out.empty() && obs::write_trace_jsonl(trace_out))
+    std::printf("wrote %s\n", trace_out.c_str());
+  if (!stats_json.empty() && obs::write_metrics_json(stats_json))
+    std::printf("wrote %s\n", stats_json.c_str());
   return 0;
 }

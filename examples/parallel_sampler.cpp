@@ -4,24 +4,51 @@
 // identical for every N — the service's determinism contract — so the
 // thread count is purely a throughput knob.
 //
-//   usage: parallel_sampler <file.cnf> [num_samples=10] [threads=0(auto)]
+//   usage: parallel_sampler [--trace-out t.jsonl] [--stats-json s.json]
+//                           <file.cnf> [num_samples=10] [threads=0(auto)]
 //                           [epsilon=6] [seed]
 //
 // With no file argument, a built-in demo formula is sampled instead.
+// --trace-out / --stats-json switch the observability layer on and export
+// the pool.request span tree and the pool's stats struct as JSON.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cnf/dimacs.hpp"
+#include "obs/stats_json.hpp"
+#include "obs/trace.hpp"
 #include "service/sampler_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace unigen;
 
+  std::string trace_out, stats_json;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace-out") == 0)
+      trace_out = next("--trace-out");
+    else if (std::strcmp(argv[i], "--stats-json") == 0)
+      stats_json = next("--stats-json");
+    else
+      pos.push_back(argv[i]);
+  }
+  if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
+
   Cnf cnf;
-  if (argc > 1) {
+  if (!pos.empty()) {
     try {
-      cnf = parse_dimacs_file(argv[1]);
+      cnf = parse_dimacs_file(pos[0]);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -38,12 +65,13 @@ int main(int argc, char** argv) {
         "x5 6 7 0\n");
   }
   const std::size_t num_samples =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 10;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1])) : 10;
   const std::size_t threads =
-      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 0;
-  const double epsilon = argc > 4 ? std::atof(argv[4]) : 6.0;
+      pos.size() > 2 ? static_cast<std::size_t>(std::atoll(pos[2])) : 0;
+  const double epsilon = pos.size() > 3 ? std::atof(pos[3]) : 6.0;
   const std::uint64_t seed =
-      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 0xDAC14;
+      pos.size() > 4 ? static_cast<std::uint64_t>(std::atoll(pos[4]))
+                     : 0xDAC14;
 
   std::printf("c %s\n", cnf.summary().c_str());
 
@@ -86,5 +114,18 @@ int main(int argc, char** argv) {
                 w, static_cast<unsigned long long>(st.workers[w].requests_served),
                 static_cast<unsigned long long>(st.workers[w].sample_bsat_calls),
                 static_cast<unsigned long long>(st.workers[w].solver_rebuilds));
+  if (!trace_out.empty() && obs::write_trace_jsonl(trace_out))
+    std::printf("c wrote %s\n", trace_out.c_str());
+  if (!stats_json.empty()) {
+    std::FILE* f = std::fopen(stats_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", stats_json.c_str());
+      return 1;
+    }
+    const std::string text = obs::to_json(st).dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("c wrote %s\n", stats_json.c_str());
+  }
   return 0;
 }

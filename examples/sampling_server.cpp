@@ -5,7 +5,13 @@
 // lines 12–22 cost only), plus the registry's cache economics at the end.
 //
 //   usage: sampling_server [--samples N] [--rounds R] [--threads T]
-//                          [--max-sessions M] [--seed S] [file.cnf ...]
+//                          [--max-sessions M] [--seed S]
+//                          [--trace-out trace.jsonl] [--stats-json stats.json]
+//                          [file.cnf ...]
+//
+// --trace-out / --stats-json switch the observability layer on and export
+// the run: per-request span trees as JSONL, and a JSON document holding the
+// registry stats plus the global metric registry.
 //
 // Each round requests N witnesses from every formula in order; rounds
 // after the first are warm (unless M forced an eviction — try
@@ -19,6 +25,8 @@
 #include <vector>
 
 #include "cnf/dimacs.hpp"
+#include "obs/stats_json.hpp"
+#include "obs/trace.hpp"
 #include "service/sampling_server.hpp"
 
 int main(int argc, char** argv) {
@@ -29,6 +37,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   std::size_t max_sessions = 8;
   std::uint64_t seed = 0xDAC14;
+  std::string trace_out, stats_json;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
@@ -49,9 +58,14 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(next("--max-sessions")));
     else if (std::strcmp(argv[i], "--seed") == 0)
       seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    else if (std::strcmp(argv[i], "--trace-out") == 0)
+      trace_out = next("--trace-out");
+    else if (std::strcmp(argv[i], "--stats-json") == 0)
+      stats_json = next("--stats-json");
     else
       files.emplace_back(argv[i]);
   }
+  if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
 
   std::vector<std::pair<std::string, Cnf>> formulas;
   if (files.empty()) {
@@ -92,9 +106,10 @@ int main(int argc, char** argv) {
       std::size_t ok = 0;
       for (const auto& s : r.samples)
         if (s.ok()) ++ok;
-      std::printf("c round %zu  %-20s %s  %zu/%zu witnesses  session %s\n",
-                  round, name.c_str(), r.warm ? "warm" : "COLD", ok,
-                  r.samples.size(), r.key.hex().c_str());
+      std::printf(
+          "c round %zu  %-20s %s  %s  %zu/%zu witnesses  session %s\n",
+          round, name.c_str(), r.warm ? "warm" : "COLD", to_string(r.status),
+          ok, r.samples.size(), r.key.hex().c_str());
       if (round == 0)
         for (const auto& s : r.samples) {
           if (!s.ok()) continue;
@@ -118,5 +133,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.evictions),
       static_cast<unsigned long long>(st.prepare_failures), st.sessions,
       st.resident_bytes);
+
+  if (!trace_out.empty() && server.write_trace_jsonl(trace_out))
+    std::printf("c wrote %s\n", trace_out.c_str());
+  if (!stats_json.empty()) {
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("registry", obs::to_json(st));
+    doc.set("metrics", obs::JsonValue::parse(server.metrics_json()));
+    std::FILE* f = std::fopen(stats_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", stats_json.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("c wrote %s\n", stats_json.c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hashing/xor_hash.hpp"
+#include "obs/trace.hpp"
 #include "service/worker_pool.hpp"
 #include "util/timer.hpp"
 
@@ -188,6 +189,10 @@ AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
                                     std::uint64_t fault_key) {
   // Lines 12–17.  i ranges over {q-3, ..., q}, clamped to valid hash sizes.
   AcceptCellResult out;
+  // Observability only: one span per sampling request, tagged with the
+  // request's stream/fault key.  Strictly outside every RNG draw.
+  obs::Span request_span("sample.request");
+  request_span.set_value(fault_key);
   const Budget& budget = options.budget;
   // Per-request wall deadline: sample_timeout_s tightened by the overall
   // anytime deadline when that one is nearer.
@@ -214,6 +219,11 @@ AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
         out.status = RequestStatus::kTimedOut;
         return out;
       }
+
+      // Observability only: one span per probe attempt (hash draw + BSAT),
+      // tagged with the candidate hash count i.
+      obs::Span probe_span("hash.probe");
+      probe_span.set_value(static_cast<std::uint64_t>(i));
 
       // Lines 14–15: random h from H_xor(|S|, i, 3), random α.
       const XorHash hash =
@@ -279,6 +289,19 @@ AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
   }
   out.status = RequestStatus::kFailed;  // line 19: ⊥
   return out;
+}
+
+SampleResult::Status sample_status_from_request(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kComplete:
+      return SampleResult::Status::kOk;
+    case RequestStatus::kTimedOut:
+      return SampleResult::Status::kTimeout;
+    case RequestStatus::kCancelled:
+      return SampleResult::Status::kCancelled;
+    default:
+      return SampleResult::Status::kFail;  // ⊥ (kFailed / kPartial)
+  }
 }
 
 Model unigen_trivial_single(const UniGenPrepared& prep, Rng& rng) {
@@ -366,19 +389,14 @@ AcceptCellResult UniGen::accept_cell() {
 
 SampleResult UniGen::sample_hashed() {
   AcceptCellResult r = accept_cell();
-  switch (r.status) {
-    case RequestStatus::kCancelled:
-      return SampleResult::cancelled();
-    case RequestStatus::kTimedOut:
-      return SampleResult::timeout();
-    case RequestStatus::kComplete: {
-      // Lines 21–22: uniform element of the cell.
-      const auto j = rng_.below(r.cell.size());
-      return SampleResult::success(std::move(r.cell[j]));
-    }
-    default:
-      return SampleResult::failure();  // ⊥
+  if (r.ok()) {
+    // Lines 21–22: uniform element of the cell.
+    const auto j = rng_.below(r.cell.size());
+    return SampleResult::success(std::move(r.cell[j]));
   }
+  SampleResult out;
+  out.status = sample_status_from_request(r.status);
+  return out;
 }
 
 std::vector<Model> UniGen::sample_batch(std::size_t max_batch) {

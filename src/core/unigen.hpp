@@ -252,6 +252,12 @@ AcceptCellResult unigen_accept_cell(IncrementalBsat& engine,
                                     UniGenStats& stats,
                                     std::uint64_t fault_key = 0);
 
+/// Canonical projection of a request's terminal status onto the sampler's
+/// result status: kComplete → kOk, kTimedOut → kTimeout, kCancelled →
+/// kCancelled, everything else ⊥ (kFail).  Shared by every embedding —
+/// single instance, pool, fleet worker — so the mapping cannot drift.
+SampleResult::Status sample_status_from_request(RequestStatus status);
+
 /// Lines 5–7 (easy case): one uniform draw from the full witness list.
 /// Shared by UniGen and the pool so trivial-mode semantics cannot drift
 /// between the single-engine and the parallel path.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "counting/parallel_approxmc.hpp"
+#include "obs/trace.hpp"
 #include "sat/incremental_bsat.hpp"
 #include "service/process_fleet.hpp"
 #include "service/worker_pool.hpp"
@@ -46,6 +47,11 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   const Budget& budget = options.budget;
   ApproxMcAnytime any;
   ApproxMcResult& result = any.result;
+
+  // Observability only: one span per counting run — child of the caller's
+  // context when a service request is in flight, root of a fresh trace for
+  // standalone counts.  Strictly outside every RNG path.
+  obs::Span count_span("count.request");
 
   if (!st.prologue_done) st.pivot = approxmc_pivot(options.epsilon);
   result.pivot = st.pivot;
@@ -171,6 +177,7 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
   }
 
   result.iterations_requested = st.iterations_requested;
+  count_span.set_value(static_cast<std::uint64_t>(st.iterations_requested));
   // Deterministic mode follows the *cumulative* grant (a resume that adds
   // units continues a deterministic run even if its own Budget carries no
   // fault plan), so the cold-start policy cannot flip between slices.
@@ -214,6 +221,11 @@ ApproxMcAnytime run_anytime(const Cnf& cnf, ApproxMcAnytimeState st,
         ProcessFleet::TaskSpec s;
         s.id = i;
         s.rng_state = st.iter_base.fork_stream(i).state();
+        // Trace propagation (observability only): worker spans land under
+        // this run's count.request span, in this run's trace.
+        const obs::TraceContext tctx = obs::current_context();
+        s.trace_id = tctx.trace_id;
+        s.parent_span = tctx.span_id;
         specs.push_back(s);
         slot.push_back(i);
       }

@@ -4,6 +4,7 @@
 
 #include "counting/approxmc.hpp"
 #include "hashing/xor_hash.hpp"
+#include "obs/trace.hpp"
 #include "service/budget.hpp"
 
 namespace unigen {
@@ -27,6 +28,11 @@ ProbeOutcome probe(IncrementalBsat& engine, std::uint32_t m,
                    std::uint64_t& bsat_calls) {
   const Budget& budget = options.budget;
   ProbeOutcome out;
+  // Observability only: the hash-level probe span (child of the enclosing
+  // count.iteration).  Strictly outside the RNG path — draw_xor_hash below
+  // consumes `rng` identically with tracing on or off.
+  obs::Span span("hash.probe");
+  span.set_value(m);
   // The fault plan addresses probes by (iteration, call ordinal), both
   // schedule-independent; a faulted probe is charged like a real one (the
   // unit ledger is part of the deterministic cost) but never runs — it is
@@ -64,6 +70,10 @@ ApproxMcCoreOutcome approxmc_core_iteration(IncrementalBsat& engine,
                                             std::uint64_t fault_key) {
   ApproxMcCoreOutcome out;
   out.leapfrogged = start_m > 0;
+  // Observability only: one span per median iteration, tagged with the
+  // iteration index (the fault key doubles as that index on every path).
+  obs::Span span("count.iteration");
+  span.set_value(fault_key);
 
   // Search for the smallest m with a small cell: lo = largest m known big,
   // hi = smallest m known small.  Cold runs gallop up from m = 1;

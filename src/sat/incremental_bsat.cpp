@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace unigen {
 
 namespace {
@@ -72,6 +75,15 @@ EnumerateResult IncrementalBsat::enumerate_cell(std::size_t m,
                                                 const ProbeLimits& limits,
                                                 bool store_models) {
   assert(m <= activations_.size());
+  // Observability only (outside every RNG path): one span + latency sample
+  // per BSAT call, tagged with the hash level probed.
+  static obs::Counter& cells = obs::metrics().counter("bsat.cells");
+  static obs::Histogram& cell_seconds =
+      obs::metrics().histogram("cell.enumeration_seconds");
+  cells.add();
+  obs::ScopedTimer cell_timer(cell_seconds);
+  obs::Span span("bsat.call");
+  span.set_value(m);
   EnumerateOptions eopts;
   eopts.max_models = max_models;
   eopts.deadline = limits.deadline;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "util/gf2.hpp"
 
 namespace unigen {
@@ -775,6 +776,13 @@ lbool Solver::solve_limited(const std::vector<Lit>& assumptions,
                             const Deadline& deadline,
                             std::uint64_t conflict_budget,
                             const std::atomic<bool>* interrupt) {
+  // Observability only — timing a solve touches no solver or RNG state, so
+  // the result is byte-identical with tracing on or off.
+  static obs::Counter& solves = obs::metrics().counter("bsat.solves");
+  static obs::Histogram& solve_seconds =
+      obs::metrics().histogram("bsat.solve_seconds");
+  solves.add();
+  obs::ScopedTimer solve_timer(solve_seconds);
   if (!ok_) return lbool::False;
   cancel_until(0);
   if (propagate() != nullptr) {

@@ -168,6 +168,8 @@ std::string encode_task(const TaskMsg& m) {
   w.f64(m.bsat_timeout_s);
   w.u64(m.max_bsat_calls);
   w.u64(m.conflicts_per_call);
+  w.u64(m.trace_id);
+  w.u64(m.parent_span);
   return w.take();
 }
 
@@ -183,6 +185,8 @@ TaskMsg decode_task(const std::string& payload) {
   m.bsat_timeout_s = r.f64();
   m.max_bsat_calls = r.u64();
   m.conflicts_per_call = r.u64();
+  m.trace_id = r.u64();
+  m.parent_span = r.u64();
   return m;
 }
 
@@ -203,6 +207,20 @@ std::string encode_result(const ResultMsg& m) {
   for (const Model& model : m.models) put_model(w, model);
   w.u64(m.sample_bsat_calls);
   w.u64(m.timeout_retries);
+  w.u32(static_cast<std::uint32_t>(
+      std::min<std::size_t>(m.spans.size(), ResultMsg::kMaxSpans)));
+  std::size_t emitted = 0;
+  for (const SpanWire& s : m.spans) {
+    if (emitted++ >= ResultMsg::kMaxSpans) break;
+    w.str(s.name);
+    w.u64(s.span_id);
+    w.u64(s.parent_id);
+    w.u64(s.start_ns);
+    w.u64(s.end_ns);
+    w.u64(s.value);
+    w.u32(s.worker);
+    w.u32(s.attempt);
+  }
   return w.take();
 }
 
@@ -225,6 +243,21 @@ ResultMsg decode_result(const std::string& payload) {
   for (std::uint32_t i = 0; i < k; ++i) m.models.push_back(get_model(r));
   m.sample_bsat_calls = r.u64();
   m.timeout_retries = r.u64();
+  const std::uint32_t ns = r.u32();
+  if (ns > ResultMsg::kMaxSpans) throw std::runtime_error("ipc: span flood");
+  m.spans.reserve(ns);
+  for (std::uint32_t i = 0; i < ns; ++i) {
+    SpanWire s;
+    s.name = r.str();
+    s.span_id = r.u64();
+    s.parent_id = r.u64();
+    s.start_ns = r.u64();
+    s.end_ns = r.u64();
+    s.value = r.u64();
+    s.worker = r.u32();
+    s.attempt = r.u32();
+    m.spans.push_back(std::move(s));
+  }
   return m;
 }
 

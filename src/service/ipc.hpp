@@ -153,6 +153,28 @@ struct TaskMsg {
   double bsat_timeout_s = 0.0;
   std::uint64_t max_bsat_calls = 0;
   std::uint64_t conflicts_per_call = 0;
+  /// Trace propagation (obs/trace.hpp): which request trace the worker's
+  /// spans should land in, and under which parent span.  0 = tracing off —
+  /// the worker records nothing and ships no spans back.  Observability
+  /// only: never reaches the computation or the RNG.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+/// One completed span, shipped child → parent inside ResultMsg so the
+/// worker's trace fragment survives the process boundary.  Carries no
+/// trace id — all spans of a Result belong to the task's trace; the
+/// supervisor re-stamps it on merge.  Span/parent ids are process-salted
+/// (obs::fresh_span_id), so supervisor and worker ids cannot collide.
+struct SpanWire {
+  std::string name;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t value = 0;
+  std::uint32_t worker = 0;   ///< recording worker's pid
+  std::uint32_t attempt = 0;  ///< attempt ordinal the span belongs to
 };
 
 struct ResultMsg {
@@ -174,6 +196,12 @@ struct ResultMsg {
   std::vector<Model> models;
   std::uint64_t sample_bsat_calls = 0;
   std::uint64_t timeout_retries = 0;
+  /// Worker-side trace fragment for this attempt (empty when the task's
+  /// trace_id was 0).  Decode caps the count (kMaxSpans) so a corrupt
+  /// frame cannot trigger a runaway allocation.
+  std::vector<SpanWire> spans;
+
+  static constexpr std::uint32_t kMaxSpans = 1u << 20;
 };
 
 std::string encode_setup(const SetupMsg& m);

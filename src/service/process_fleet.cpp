@@ -15,6 +15,8 @@
 #include <unistd.h>
 
 #include "cnf/dimacs_write.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 extern char** environ;
 
@@ -60,6 +62,12 @@ struct ProcessFleet::Worker {
   /// The pending death (if any) was our own SIGKILL (hang/deadline/cancel),
   /// not a crash — kept out of the crash count.
   bool supervisor_kill = false;
+  std::uint64_t tasks_dispatched = 0;
+  /// Supervisor-side attempt span bookkeeping (observability only): set by
+  /// dispatch() when the task carries a trace id, closed at Result arrival
+  /// or death.  0 = no open attempt span.
+  std::uint64_t span_start_ns = 0;
+  std::uint32_t span_attempt = 0;
 
   bool alive() const {
     return state == State::kSpawning || state == State::kIdle ||
@@ -172,6 +180,7 @@ void ProcessFleet::kill_worker(Worker& w) {
 }
 
 void ProcessFleet::handle_death(Worker& w, RunState* run) {
+  const pid_t dead_pid = w.pid;
   // A result that beat the death into the socket still counts — drain the
   // buffered frames before declaring the task crashed.
   process_frames(w, run);
@@ -183,9 +192,29 @@ void ProcessFleet::handle_death(Worker& w, RunState* run) {
     ::waitpid(w.pid, nullptr, 0);
     w.pid = -1;
   }
-  if (!w.supervisor_kill) ++stats_.crashes;
+  if (!w.supervisor_kill) {
+    ++stats_.crashes;
+    obs::metrics().counter("fleet.crashes").add();
+  }
   if (w.state == Worker::State::kBusy && w.task != kNoTask && run != nullptr) {
     const std::size_t t = w.task;
+    const TaskSpec& spec = (*run->tasks)[t];
+    // Close the supervisor-side attempt span as crashed: the dead worker's
+    // own spans are gone with it, so this is the attempt's attested record
+    // in the trace (attempt-tagged, same trace id as the retry).
+    if (w.span_start_ns != 0 && spec.trace_id != 0 && obs::enabled()) {
+      obs::TraceEvent e;
+      e.trace_id = spec.trace_id;
+      e.span_id = obs::fresh_span_id();
+      e.parent_id = spec.parent_span;
+      e.start_ns = w.span_start_ns;
+      e.end_ns = obs::now_ns();
+      e.value = spec.id;
+      e.name = "fleet.attempt.crashed";
+      e.worker = dead_pid > 0 ? static_cast<std::uint32_t>(dead_pid) : 0;
+      e.attempt = w.span_attempt;
+      obs::record_span(e);
+    }
     TaskOutcome& out = (*run->outcomes)[t];
     if (!out.served && !out.poisoned) {
       if (out.attempts >=
@@ -193,6 +222,7 @@ void ProcessFleet::handle_death(Worker& w, RunState* run) {
         out.poisoned = true;
         ++run->settled;
         ++stats_.poisoned_tasks;
+        obs::metrics().counter("fleet.poisoned_tasks").add();
       } else {
         run->pending.push_front(t);
         run->death_time[t] = Clock::now();
@@ -200,6 +230,7 @@ void ProcessFleet::handle_death(Worker& w, RunState* run) {
       }
     }
   }
+  w.span_start_ns = 0;
   w.state = Worker::State::kDown;
   w.task = kNoTask;
   w.supervisor_kill = false;
@@ -239,6 +270,9 @@ void ProcessFleet::process_frames(Worker& w, RunState* run) {
           return;
         }
         const std::size_t t = w.task;
+        const std::uint64_t att_start = w.span_start_ns;
+        const std::uint32_t att_ordinal = w.span_attempt;
+        w.span_start_ns = 0;
         w.state = Worker::State::kIdle;
         w.task = kNoTask;
         if (t == kNoTask || msg.task_id != (*run->tasks)[t].id) break;
@@ -249,6 +283,37 @@ void ProcessFleet::process_frames(Worker& w, RunState* run) {
         ++run->settled;
         if (run->control != nullptr)
           run->control->units_spent += out.result.bsat_calls;
+        // Merge the worker's shipped spans into this process's trace and
+        // close the supervisor-side attempt span (observability only).
+        const TaskSpec& spec = (*run->tasks)[t];
+        if (spec.trace_id != 0 && obs::enabled()) {
+          for (const ipc::SpanWire& s : out.result.spans) {
+            obs::TraceEvent e;
+            e.trace_id = spec.trace_id;
+            e.span_id = s.span_id;
+            e.parent_id = s.parent_id;
+            e.start_ns = s.start_ns;
+            e.end_ns = s.end_ns;
+            e.value = s.value;
+            e.name = obs::intern_name(s.name.c_str());
+            e.worker = s.worker;
+            e.attempt = s.attempt;
+            obs::record_span(e);
+          }
+          if (att_start != 0) {
+            obs::TraceEvent e;
+            e.trace_id = spec.trace_id;
+            e.span_id = obs::fresh_span_id();
+            e.parent_id = spec.parent_span;
+            e.start_ns = att_start;
+            e.end_ns = obs::now_ns();
+            e.value = spec.id;
+            e.name = "fleet.attempt";
+            e.worker = w.pid > 0 ? static_cast<std::uint32_t>(w.pid) : 0;
+            e.attempt = att_ordinal;
+            obs::record_span(e);
+          }
+        }
         break;
       }
       case ipc::FrameType::kError: {
@@ -291,6 +356,9 @@ void ProcessFleet::dispatch(Worker& w, std::size_t task_index, RunState* run) {
   msg.bsat_timeout_s = budget.bsat_timeout_s;
   msg.max_bsat_calls = budget.max_bsat_calls;
   msg.conflicts_per_call = budget.conflicts_per_call;
+  msg.trace_id = spec.trace_id;
+  msg.parent_span = spec.parent_span;
+  w.span_start_ns = 0;
   if (!ipc::write_frame(w.fd, ipc::FrameType::kTask, ipc::encode_task(msg))) {
     // Worker died between poll rounds; the attempt was never delivered.
     run->pending.push_front(task_index);
@@ -298,12 +366,25 @@ void ProcessFleet::dispatch(Worker& w, std::size_t task_index, RunState* run) {
     return;
   }
   ++out.attempts;
-  if (out.attempts > 1) ++stats_.redispatches;
+  ++w.tasks_dispatched;
+  // Open the supervisor-side attempt span only once the frame is actually
+  // on the wire — a failed send above is not an attempt.
+  if (spec.trace_id != 0 && obs::enabled()) {
+    w.span_start_ns = obs::now_ns();
+    w.span_attempt = out.attempts;
+  }
+  if (out.attempts > 1) {
+    ++stats_.redispatches;
+    obs::metrics().counter("fleet.redispatches").add();
+  }
   if (run->death_pending[task_index]) {
     const double rec = seconds_since(run->death_time[task_index]);
     run->death_pending[task_index] = 0;
     stats_.total_recovery_seconds += rec;
     stats_.max_recovery_seconds = std::max(stats_.max_recovery_seconds, rec);
+    obs::metrics()
+        .histogram("fleet.crash_recovery_seconds")
+        .record_ns(static_cast<std::uint64_t>(rec * 1e9));
   }
   w.state = Worker::State::kBusy;
   w.task = task_index;
@@ -320,7 +401,10 @@ bool ProcessFleet::poll_once(int timeout_ms, RunState* run) {
       continue;
     }
     ++w.respawns;
-    if (spawn(w)) ++stats_.respawns;
+    if (spawn(w)) {
+      ++stats_.respawns;
+      obs::metrics().counter("fleet.respawns").add();
+    }
   }
   // Dispatch pending work to idle workers (unless the grant ran out —
   // what it actually bought is the downstream canonical fold's decision).
@@ -381,6 +465,7 @@ bool ProcessFleet::poll_once(int timeout_ms, RunState* run) {
         std::chrono::duration<double>(after - w.last_frame).count() >
             options_.heartbeat_timeout_s) {
       ++stats_.hang_kills;
+      obs::metrics().counter("fleet.hang_kills").add();
       kill_worker(w);
       continue;
     }
@@ -486,7 +571,33 @@ std::vector<ProcessFleet::TaskOutcome> ProcessFleet::run(
       poll_once(25, nullptr);
     }
   }
+  last_run_attempts_.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    last_run_attempts_[i] = outcomes[i].attempts;
   return outcomes;
+}
+
+ProcessFleet::FleetSnapshot ProcessFleet::snapshot() const {
+  FleetSnapshot snap;
+  snap.totals = stats_;
+  snap.workers.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    WorkerSnapshot ws;
+    ws.pid = w.alive() ? static_cast<int>(w.pid) : -1;
+    switch (w.state) {
+      case Worker::State::kDown: ws.state = "down"; break;
+      case Worker::State::kAbandoned: ws.state = "abandoned"; break;
+      case Worker::State::kSpawning: ws.state = "spawning"; break;
+      case Worker::State::kIdle: ws.state = "idle"; break;
+      case Worker::State::kBusy: ws.state = "busy"; break;
+    }
+    ws.respawns = static_cast<std::uint32_t>(w.respawns);
+    ws.backoff_seconds = w.backoff_s;
+    ws.tasks_dispatched = w.tasks_dispatched;
+    snap.workers.push_back(ws);
+  }
+  snap.last_run_attempts = last_run_attempts_;
+  return snap;
 }
 
 std::string ProcessFleet::make_count_setup(

@@ -77,6 +77,11 @@ class ProcessFleet {
     std::array<std::uint64_t, 4> rng_state{};
     std::uint32_t start_m = 0;   ///< kCount leapfrog hint (fleet: cold start)
     std::uint64_t max_batch = 0; ///< kSample: 0 = single, else batch cap
+    /// Trace propagation (obs/trace.hpp): rides the Task frame so the
+    /// worker's spans land in the request's trace; 0 = tracing off.
+    /// Observability only — never reaches the computation.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
   };
 
   /// served == false means the slot never produced a result: poisoned
@@ -133,6 +138,25 @@ class ProcessFleet {
   std::vector<int> worker_pids() const;
   const FleetStats& stats() const { return stats_; }
 
+  /// Supervisor internals that used to die inside the poll loop, frozen
+  /// into a point-in-time snapshot: per-slot respawn/backoff state plus the
+  /// last run's per-task attempt ordinals.  Dispatcher-only, between runs.
+  struct WorkerSnapshot {
+    int pid = -1;               ///< -1 when the slot is down/abandoned
+    const char* state = "";     ///< "down"/"abandoned"/"spawning"/"idle"/"busy"
+    std::uint32_t respawns = 0;
+    double backoff_seconds = 0.0;  ///< current exponential-backoff delay
+    std::uint64_t tasks_dispatched = 0;
+  };
+  struct FleetSnapshot {
+    FleetStats totals;
+    std::vector<WorkerSnapshot> workers;
+    /// Attempt count per task of the most recent run(), in task order
+    /// (1 = served first try; > 1 = re-dispatched after worker deaths).
+    std::vector<std::uint32_t> last_run_attempts;
+  };
+  FleetSnapshot snapshot() const;
+
  private:
   struct Worker;
   struct RunState;
@@ -154,6 +178,7 @@ class ProcessFleet {
   bool started_ = false;
   std::vector<Worker> workers_;
   FleetStats stats_;
+  std::vector<std::uint32_t> last_run_attempts_;
 };
 
 }  // namespace unigen

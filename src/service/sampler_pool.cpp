@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "service/process_fleet.hpp"
 #include "util/timer.hpp"
 
@@ -25,37 +26,21 @@ struct SamplerPool::Job {
 };
 
 SampleResult finish_single_from_cell(AcceptCellResult r, Rng& rng) {
-  switch (r.status) {
-    case RequestStatus::kComplete:
-      return SampleResult::success(std::move(r.cell[rng.below(r.cell.size())]));
-    case RequestStatus::kCancelled:
-      return SampleResult::cancelled();
-    case RequestStatus::kTimedOut:
-      return SampleResult::timeout();
-    default:
-      return SampleResult::failure();  // ⊥
-  }
+  if (r.ok())
+    return SampleResult::success(std::move(r.cell[rng.below(r.cell.size())]));
+  SampleResult out;
+  out.status = sample_status_from_request(r.status);
+  return out;
 }
 
 BatchResult finish_batch_from_cell(AcceptCellResult r, std::size_t max_batch,
                                    Rng& rng) {
   BatchResult out;
-  switch (r.status) {
-    case RequestStatus::kComplete:
-      rng.shuffle(r.cell);
-      if (r.cell.size() > max_batch) r.cell.resize(max_batch);
-      out.status = SampleResult::Status::kOk;
-      out.models = std::move(r.cell);
-      break;
-    case RequestStatus::kCancelled:
-      out.status = SampleResult::Status::kCancelled;
-      break;
-    case RequestStatus::kTimedOut:
-      out.status = SampleResult::Status::kTimeout;
-      break;
-    default:
-      out.status = SampleResult::Status::kFail;
-      break;
+  out.status = sample_status_from_request(r.status);
+  if (r.ok()) {
+    rng.shuffle(r.cell);
+    if (r.cell.size() > max_batch) r.cell.resize(max_batch);
+    out.models = std::move(r.cell);
   }
   return out;
 }
@@ -74,6 +59,10 @@ bool SamplerPool::prepare() { return prepare(options_.unigen.budget); }
 
 bool SamplerPool::prepare(const Budget& budget) {
   if (prepared_) return prep_.usable();
+  // Observability only: the one-time phase (simplify + easy-case check +
+  // nested count) as one span; the count.request span nests under it.
+  obs::Span prepare_span("pool.prepare",
+                         obs::trace_id_for_request(options_.seed, 0));
   Rng prepare_rng = pool_.fork_stream(0);
   // The one-time ApproxMC call fans its median iterations across as many
   // threads as this pool serves requests with (unless the caller pinned
@@ -206,11 +195,16 @@ void SamplerPool::serve_via_fleet(Job& job, std::size_t count,
   // Raw RNG state per task keeps every draw identical to pool_'s keyed
   // fork; a crashed request's retry re-runs the same pure function.
   std::vector<ProcessFleet::TaskSpec> specs(count);
+  const obs::TraceContext tctx = obs::current_context();
   for (std::size_t k = 0; k < count; ++k) {
     specs[k].id = job.first_stream + k;
     specs[k].rng_state = pool_.fork_stream(job.first_stream + k).state();
     specs[k].max_batch =
         job.kind == Job::Kind::kBatches ? job.max_batch : 0;
+    // Trace propagation (observability only): worker spans land under this
+    // call's pool.request span.
+    specs[k].trace_id = tctx.trace_id;
+    specs[k].parent_span = tctx.span_id;
   }
   std::vector<ProcessFleet::TaskOutcome> outcomes = fleet_->run(specs, budget);
   for (std::size_t k = 0; k < count; ++k) {
@@ -286,10 +280,16 @@ SampleManyResult SamplerPool::sample_many_within(std::size_t count,
     for (const SampleResult& r : out.samples) account(r.status);
     return out;
   }
-  prepare();
-  const Stopwatch watch;
   const std::uint64_t first_stream = next_stream_;
   next_stream_ += count;  // streams are consumed whatever the outcome
+  // Observability only: one span (and one trace id, keyed by the call's
+  // first request stream) per service call.  Cold calls nest prepare under
+  // it; every request span of this call becomes its child.
+  obs::Span call_span("pool.request",
+                      obs::trace_id_for_request(options_.seed, first_stream));
+  call_span.set_value(count);
+  prepare();
+  const Stopwatch watch;
   out.samples.resize(count);
   UniGenOptions opts = options_.unigen;
   opts.budget = budget;
@@ -340,10 +340,13 @@ SampleBatchesResult SamplerPool::sample_batches_within(std::size_t requests,
     out.status = adm;
     return out;
   }
-  prepare();
-  const Stopwatch watch;
   const std::uint64_t first_stream = next_stream_;
   next_stream_ += requests;
+  obs::Span call_span("pool.request",
+                      obs::trace_id_for_request(options_.seed, first_stream));
+  call_span.set_value(requests);
+  prepare();
+  const Stopwatch watch;
   out.batches.resize(requests);
   UniGenOptions opts = options_.unigen;
   opts.budget = budget;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace unigen {
 
 namespace {
@@ -27,6 +30,10 @@ SamplingServer::SamplingServer(SamplingServerOptions options)
 ServerSampleResponse SamplingServer::sample(const Cnf& cnf, std::size_t count,
                                             const Budget& budget) {
   ServerSampleResponse out;
+  // Observability only: one span — and one trace — per server call; the
+  // session's pool.request (and a cold call's prepare) nest under it.
+  obs::Span span("server.request");
+  span.set_value(count);
   const AcquireResult acquired = registry_.acquire(cnf, budget);
   out.warm = acquired.warm;
   out.key = acquired.key;
@@ -53,6 +60,8 @@ ServerBatchResponse SamplingServer::sample_batches(const Cnf& cnf,
                                                    std::size_t max_batch,
                                                    const Budget& budget) {
   ServerBatchResponse out;
+  obs::Span span("server.request");
+  span.set_value(requests);
   const AcquireResult acquired = registry_.acquire(cnf, budget);
   out.warm = acquired.warm;
   out.key = acquired.key;
@@ -79,6 +88,7 @@ ServerBatchResponse SamplingServer::sample_batches(const Cnf& cnf,
 ServerCountResponse SamplingServer::count(const Cnf& cnf,
                                           const Budget& budget) {
   ServerCountResponse out;
+  obs::Span span("server.request");
   const AcquireResult acquired = registry_.acquire(cnf, budget);
   out.warm = acquired.warm;
   out.key = acquired.key;
@@ -107,6 +117,20 @@ ServerCountResponse SamplingServer::count(const Cnf& cnf,
 
 ServerCountResponse SamplingServer::count(const Cnf& cnf) {
   return count(cnf, registry_.options().pool.unigen.budget);
+}
+
+std::string SamplingServer::trace_jsonl() const { return obs::trace_jsonl(); }
+
+bool SamplingServer::write_trace_jsonl(const std::string& path) const {
+  return obs::write_trace_jsonl(path);
+}
+
+std::string SamplingServer::metrics_json() const {
+  return obs::metrics_json();
+}
+
+bool SamplingServer::write_metrics_json(const std::string& path) const {
+  return obs::write_metrics_json(path);
 }
 
 }  // namespace unigen

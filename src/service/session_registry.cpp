@@ -3,6 +3,8 @@
 #include <iterator>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace unigen {
 
 namespace {
@@ -105,6 +107,7 @@ AcquireResult SessionRegistry::acquire(const Cnf& cnf, const Budget& budget) {
   const auto hit = by_key_.find(out.key);
   if (hit != by_key_.end()) {
     ++stats_.hits;
+    obs::metrics().counter("session.hits").add();
     // Splice to front: iterators (and the by_key_ mapping) stay valid.
     lru_.splice(lru_.begin(), lru_, hit->second);
     SamplingSession& session = lru_.front();
@@ -114,6 +117,7 @@ AcquireResult SessionRegistry::acquire(const Cnf& cnf, const Budget& budget) {
     return out;
   }
   ++stats_.misses;
+  obs::metrics().counter("session.misses").add();
   if (presimplified == nullptr && options_.pool.unigen.simplify.enabled) {
     // Alias hit on a key whose session is gone (defensive: aliases are
     // purged with their session, but a stale map must not skip the
@@ -167,6 +171,7 @@ void SessionRegistry::enforce_caps() {
 
 void SessionRegistry::drop(SessionList::iterator it) {
   ++stats_.evictions;
+  obs::metrics().counter("session.evictions").add();
   stats_.resident_bytes -= it->resident_bytes_;
   by_key_.erase(it->key_);
   purge_aliases(it->key_);

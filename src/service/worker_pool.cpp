@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace unigen {
 
 // One fan-out: `count` tasks pulled from an atomic cursor.  Lives on the
@@ -14,6 +17,11 @@ struct WorkerPool::Job {
   const TaskFn* fn = nullptr;
   const std::atomic<bool>* cancel = nullptr;  ///< skip fn once tripped
   const Rng* stream_base = nullptr;  ///< task streams fork from this
+  /// Dispatcher's trace context at submission, re-installed around every
+  /// task's fn so worker-thread spans parent to the dispatcher's span.
+  /// Observability only (invalid when tracing is off).
+  obs::TraceContext trace_ctx;
+  std::uint64_t submit_ns = 0;  ///< queue-wait metric baseline; 0 = off
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> executed{0};  ///< tasks whose fn actually ran
@@ -75,6 +83,17 @@ void WorkerPool::worker_main(std::size_t worker_index) {
         if (!worker.engine)
           worker.engine =
               std::make_unique<IncrementalBsat>(*formula_, projection_);
+        // Observability only: first pull of a task after submission is the
+        // queue wait; the dispatcher's context makes this thread's spans
+        // children of the submitting span.
+        if (job->submit_ns != 0 && obs::enabled()) {
+          static obs::Counter& tasks = obs::metrics().counter("pool.tasks");
+          static obs::Histogram& queue_wait =
+              obs::metrics().histogram("pool.queue_wait_seconds");
+          tasks.add();
+          queue_wait.record_ns(obs::now_ns() - job->submit_ns);
+        }
+        obs::ContextScope trace_scope(job->trace_ctx);
         // All randomness of task k comes from its keyed stream — identical
         // no matter which worker runs this.
         Rng rng = job->stream_base->fork_stream(job->first_stream + k);
@@ -103,6 +122,10 @@ std::size_t WorkerPool::run(std::size_t count, std::uint64_t first_stream,
   job.fn = &fn;
   job.cancel = cancel;
   job.stream_base = stream_base != nullptr ? stream_base : &base_rng_;
+  if (obs::enabled()) {
+    job.trace_ctx = obs::current_context();
+    job.submit_ns = obs::now_ns();
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = &job;

@@ -36,6 +36,7 @@
 #include "core/unigen.hpp"
 #include "counting/approxmc.hpp"
 #include "counting/approxmc_core.hpp"
+#include "obs/trace.hpp"
 #include "sat/incremental_bsat.hpp"
 #include "service/ipc.hpp"
 #include "service/sampler_pool.hpp"
@@ -197,7 +198,22 @@ int worker_main(int fd) {
     ipc::ResultMsg result;
     result.task_id = task.task_id;
     result.kind = setup.kind;
+    // Tracing follows the task frame: a nonzero trace id turns recording on
+    // for exactly this attempt, and the ring is drained into the Result so
+    // the supervisor can merge the fragment.  Observability only — the
+    // computation below never reads any of it.
+    const bool tracing = task.trace_id != 0;
+    obs::set_enabled(tracing);
+    if (tracing) obs::clear_all();
     try {
+      obs::ContextScope trace_root(
+          obs::TraceContext{task.trace_id, task.parent_span});
+      obs::Span task_span("worker.task");
+      task_span.set_value(task.task_id);
+      task_span.set_worker(static_cast<std::uint32_t>(::getpid()));
+      // 1-based to match the supervisor's fleet.attempt tag (TaskMsg's
+      // ordinal is 0-based because the fault plan keys on it).
+      task_span.set_attempt(task.attempt + 1);
       Rng rng = Rng::from_state(task.rng_state);
       // Per-call Budget scalars ride on the task frame; pointers (cancel
       // token, in-process fault plan) cannot cross — cancellation is the
@@ -248,6 +264,24 @@ int worker_main(int fd) {
     } catch (const std::exception& e) {
       writer.send(ipc::FrameType::kError, ipc::encode_error(e.what()));
       continue;
+    }
+    if (tracing) {
+      // task_span closed at the end of the try block above; everything this
+      // attempt recorded is now drained into the Result frame.
+      for (const obs::TraceEvent& e : obs::snapshot_events()) {
+        ipc::SpanWire s;
+        s.name = e.name;
+        s.span_id = e.span_id;
+        s.parent_id = e.parent_id;
+        s.start_ns = e.start_ns;
+        s.end_ns = e.end_ns;
+        s.value = e.value;
+        s.worker = e.worker != 0 ? e.worker
+                                 : static_cast<std::uint32_t>(::getpid());
+        s.attempt = e.attempt != 0 ? e.attempt : task.attempt + 1;
+        result.spans.push_back(std::move(s));
+      }
+      obs::clear_all();
     }
     if (!writer.send(ipc::FrameType::kResult, ipc::encode_result(result)))
       return 0;  // parent gone

@@ -1,0 +1,225 @@
+// Round-trip coverage of the canonical stats-struct JSON layer
+// (src/obs/stats_json.*): every struct serializes, parses back, and
+// re-serializes to the identical document; exact integers and %.17g
+// doubles survive; enum names invert through *_from_string.  The writer
+// and reader are driven by one visit_fields list per struct, so these
+// tests are what catches a field added to one side only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "obs/stats_json.hpp"
+
+namespace unigen {
+namespace {
+
+using obs::JsonValue;
+
+/// serialize → parse → deserialize → re-serialize must reproduce the
+/// exact document.
+template <class S>
+void expect_round_trip(const S& s) {
+  const JsonValue j = obs::to_json(s);
+  const std::string text = j.dump();
+  const JsonValue parsed = JsonValue::parse(text);
+  S recovered;
+  ASSERT_TRUE(obs::from_json(parsed, recovered)) << text;
+  EXPECT_EQ(obs::to_json(recovered).dump(), text);
+}
+
+TEST(JsonValue, ExactIntegersSurviveARoundTrip) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  JsonValue v = JsonValue::object();
+  v.set("u", JsonValue::of_uint(big));
+  v.set("i", JsonValue::of_int(std::numeric_limits<std::int64_t>::min()));
+  const std::string text = v.dump();
+  EXPECT_NE(text.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(text.find("-9223372036854775808"), std::string::npos);
+  const JsonValue back = JsonValue::parse(text);
+  EXPECT_EQ(back.find("u")->as_uint(), big);
+  EXPECT_EQ(back.find("i")->as_int(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonValue, DoublesKeepFullPrecision) {
+  const double pi = 3.141592653589793;
+  JsonValue v = JsonValue::object();
+  v.set("d", JsonValue::of_double(pi));
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back.find("d")->as_double(), pi);
+}
+
+TEST(JsonValue, StringEscapesRoundTrip) {
+  const std::string nasty = "line\nquote\"back\\slash\ttab";
+  JsonValue v = JsonValue::object();
+  v.set("s", JsonValue::of_string(nasty));
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back.find("s")->as_string(), nasty);
+}
+
+TEST(JsonValue, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1, tru]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"open"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+}
+
+TEST(StatsJson, SolverStatsRoundTrips) {
+  SolverStats s;
+  s.decisions = 11;
+  s.propagations = 22;
+  s.xor_propagations = 33;
+  s.conflicts = 44;
+  s.restarts = 5;
+  s.learnt_clauses = 66;
+  s.removed_clauses = 7;
+  s.minimized_literals = 88;
+  s.gauss_units = 9;
+  s.gauss_rows = 10;
+  s.solver_rebuilds = 2;
+  s.reused_solves = 123;
+  s.retracted_blocks = 4;
+  expect_round_trip(s);
+}
+
+TEST(StatsJson, SimplifyStatsRoundTrips) {
+  SimplifyStats s;
+  s.ran = true;
+  s.rounds = 3;
+  s.original_clauses = 100;
+  s.result_clauses = 60;
+  s.units_fixed = 5;
+  s.eliminated_vars = 7;
+  s.seconds = 0.125;
+  expect_round_trip(s);
+}
+
+TEST(StatsJson, UniGenStatsRoundTripsWithNestedSimplify) {
+  UniGenStats s;
+  s.kappa = 0.4979;
+  s.pivot = 89.0;
+  s.q = 7;
+  s.samples_requested = 100;
+  s.samples_ok = 97;
+  s.sample_bsat_calls = 412;
+  s.sample_seconds = 1.5;
+  s.total_xor_rows = 300;
+  s.simplify.ran = true;
+  s.simplify.rounds = 2;
+  s.simplify.seconds = 0.01;
+  expect_round_trip(s);
+
+  // The nested struct really is nested (not flattened).
+  const JsonValue j = obs::to_json(s);
+  ASSERT_NE(j.find("simplify"), nullptr);
+  EXPECT_EQ(j.find("simplify")->find("rounds")->as_int(), 2);
+}
+
+TEST(StatsJson, SamplerPoolStatsRoundTripsWithWorkers) {
+  SamplerPoolStats s;
+  s.requests = 40;
+  s.samples_ok = 39;
+  s.samples_timed_out = 1;
+  s.service_seconds = 2.25;
+  s.prepare.q = 5;
+  s.prepare.samples_requested = 0;
+  SamplerPoolWorkerStats w0;
+  w0.requests_served = 20;
+  w0.sample_bsat_calls = 77;
+  SamplerPoolWorkerStats w1;
+  w1.requests_served = 19;
+  w1.solver_rebuilds = 1;
+  s.workers = {w0, w1};
+  expect_round_trip(s);
+
+  const JsonValue j = obs::to_json(s);
+  ASSERT_NE(j.find("workers"), nullptr);
+  ASSERT_EQ(j.find("workers")->items().size(), 2u);
+  EXPECT_EQ(j.find("workers")->items()[0].find("requests_served")->as_uint(),
+            20u);
+}
+
+TEST(StatsJson, SessionRegistryStatsRoundTrips) {
+  SessionRegistryStats s;
+  s.requests = 12;
+  s.hits = 9;
+  s.misses = 3;
+  s.evictions = 1;
+  s.prepare_failures = 0;
+  s.sessions = 2;
+  s.resident_bytes = 1 << 20;
+  expect_round_trip(s);
+}
+
+TEST(StatsJson, FleetStatsRoundTrips) {
+  FleetStats s;
+  s.spawns = 4;
+  s.crashes = 2;
+  s.hang_kills = 1;
+  s.respawns = 3;
+  s.redispatches = 2;
+  s.poisoned_tasks = 0;
+  s.total_recovery_seconds = 0.05;
+  s.max_recovery_seconds = 0.03;
+  expect_round_trip(s);
+}
+
+TEST(StatsJson, FromJsonRejectsMissingFieldsAndWrongShapes) {
+  SolverStats s;
+  EXPECT_FALSE(obs::from_json(JsonValue::parse("{}"), s));
+  EXPECT_FALSE(obs::from_json(JsonValue::parse("[1,2]"), s));
+  EXPECT_FALSE(obs::from_json(JsonValue::parse("{\"decisions\":true}"), s));
+  // A UniGenStats document without the nested simplify object fails too.
+  UniGenStats u;
+  JsonValue flat = obs::to_json(u);
+  std::string text = flat.dump();
+  const auto pos = text.find(",\"simplify\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.size() - pos - 1);  // drop the trailing object
+  UniGenStats u2;
+  EXPECT_FALSE(obs::from_json(JsonValue::parse(text), u2));
+}
+
+TEST(StatsJson, EnumNamesRoundTrip) {
+  for (const RequestStatus s :
+       {RequestStatus::kComplete, RequestStatus::kPartial,
+        RequestStatus::kFailed, RequestStatus::kTimedOut,
+        RequestStatus::kCancelled}) {
+    RequestStatus back = RequestStatus::kComplete;
+    ASSERT_TRUE(obs::request_status_from_string(to_string(s), back))
+        << to_string(s);
+    EXPECT_EQ(back, s);
+  }
+  RequestStatus sink = RequestStatus::kComplete;
+  EXPECT_FALSE(obs::request_status_from_string("bogus", sink));
+
+  for (const SampleResult::Status s :
+       {SampleResult::Status::kOk, SampleResult::Status::kFail,
+        SampleResult::Status::kTimeout, SampleResult::Status::kUnsat,
+        SampleResult::Status::kCancelled}) {
+    SampleResult::Status back = SampleResult::Status::kOk;
+    ASSERT_TRUE(obs::sample_status_from_string(obs::to_string(s), back))
+        << obs::to_string(s);
+    EXPECT_EQ(back, s);
+  }
+  SampleResult::Status ssink = SampleResult::Status::kOk;
+  EXPECT_FALSE(obs::sample_status_from_string("bogus", ssink));
+}
+
+TEST(StatsJson, StatusMappingHelperIsTotal) {
+  using S = SampleResult::Status;
+  EXPECT_EQ(sample_status_from_request(RequestStatus::kComplete), S::kOk);
+  EXPECT_EQ(sample_status_from_request(RequestStatus::kTimedOut),
+            S::kTimeout);
+  EXPECT_EQ(sample_status_from_request(RequestStatus::kCancelled),
+            S::kCancelled);
+  EXPECT_EQ(sample_status_from_request(RequestStatus::kFailed), S::kFail);
+  EXPECT_EQ(sample_status_from_request(RequestStatus::kPartial), S::kFail);
+}
+
+}  // namespace
+}  // namespace unigen
