@@ -1,0 +1,435 @@
+// bench_net — the TCP transport's byte-transparency contract, gated:
+//
+//   * three-way count identity: approx_count over the TCP-loopback fleet
+//     at 1/2/4 workers equals both the socketpair fleet and the in-process
+//     path exactly (the keyed-stream determinism contract crossing the
+//     network stack);
+//   * three-way stream identity: a TCP-fleet SamplerPool's sample_many /
+//     sample_batches streams byte-equal the socketpair fleet's and the
+//     in-process pool's at every worker count;
+//   * crash-run identity: with a deterministic fault plan SIGKILLing
+//     workers mid-task, the TCP fleet's streams are STILL byte-identical —
+//     a killed connection costs one re-dispatched attempt, never a changed
+//     byte — with zero poisoned tasks;
+//   * remote identity: the multi-host shape (pre-started `unigen_workerd
+//     --listen` servers the supervisor dials; nothing spawned) serves the
+//     same bytes again;
+//   * clean hygiene: un-faulted TCP runs record zero crashes, zero
+//     poisoned tasks, zero send stalls and zero protocol errors.
+//
+// The headline numbers are the TCP fleet's crash-recovery latencies and
+// the wall-clock comparison across the three execution shapes, recorded in
+// BENCH_net.json.  On a 1-core container the identity gates are the
+// trustworthy signal; the clocks are context.
+//
+// `--smoke` shrinks the request counts so the whole run fits in the tier-1
+// ctest budget; every gate is identical in both modes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common.hpp"
+#include "counting/approxmc.hpp"
+#include "service/net_transport.hpp"
+#include "service/process_fleet.hpp"
+#include "service/sampler_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace unigen;
+
+constexpr std::uint64_t kSeed = 0xF1EE7DAC14ull;
+
+struct Instance {
+  std::string name;
+  Cnf cnf;
+};
+
+/// Hashed-mode formulas (the workers actually solve) plus one easy case
+/// (the transport must be byte-transparent on the exact path too).
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  {
+    Cnf cnf(10);
+    cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+    cnf.add_clause({Lit(3, false), Lit(4, true)});
+    cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+    cnf.add_clause({Lit(8, false), Lit(9, false), Lit(0, true)});
+    out.push_back({"hashed_a", std::move(cnf)});
+  }
+  {
+    Cnf cnf(10);
+    cnf.add_clause({Lit(0, false), Lit(1, false)});
+    cnf.add_clause({Lit(2, false), Lit(3, false), Lit(4, false)});
+    cnf.add_clause({Lit(5, true), Lit(6, false)});
+    cnf.add_clause({Lit(7, false), Lit(8, false), Lit(9, true)});
+    out.push_back({"hashed_b", std::move(cnf)});
+  }
+  {
+    Cnf cnf(3);
+    cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+    out.push_back({"trivial_c", std::move(cnf)});
+  }
+  return out;
+}
+
+SamplerPoolOptions pool_options(std::size_t threads, std::size_t workers,
+                                FleetTransport transport,
+                                const std::string& fault_plan = {},
+                                std::vector<std::string> endpoints = {}) {
+  SamplerPoolOptions o;
+  o.num_threads = threads;
+  o.seed = kSeed;
+  if (workers > 0 || !endpoints.empty()) {
+    o.unigen.fleet.backend = ExecBackend::kProcessFleet;
+    o.unigen.fleet.num_workers = workers;
+    o.unigen.fleet.transport = transport;
+    o.unigen.fleet.fault_plan = fault_plan;
+    o.unigen.fleet.endpoints = std::move(endpoints);
+  }
+  return o;
+}
+
+bool same_samples(const std::vector<SampleResult>& a,
+                  const std::vector<SampleResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].status != b[i].status || a[i].witness != b[i].witness)
+      return false;
+  return true;
+}
+
+bool same_batches(const std::vector<BatchResult>& a,
+                  const std::vector<BatchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].status != b[i].status || a[i].models != b[i].models)
+      return false;
+  return true;
+}
+
+struct SampleRun {
+  std::vector<SampleResult> singles;
+  std::vector<BatchResult> batches;
+  FleetStats stats;          // zero for the in-process reference
+  bool fleet_up = false;
+  double wall_s = 0.0;
+};
+
+SampleRun run_samples(const Cnf& cnf, std::size_t workers,
+                      FleetTransport transport, std::size_t singles,
+                      std::size_t batches, std::size_t batch_size,
+                      const std::string& fault_plan = {},
+                      std::vector<std::string> endpoints = {}) {
+  SampleRun out;
+  SamplerPool pool(cnf, pool_options(2, workers, transport, fault_plan,
+                                     std::move(endpoints)));
+  const Stopwatch watch;
+  out.singles = pool.sample_many(singles);
+  out.batches = pool.sample_batches(batches, batch_size);
+  out.wall_s = watch.seconds();
+  if (pool.fleet() != nullptr) {
+    out.fleet_up = true;
+    out.stats = pool.fleet()->stats();
+  }
+  return out;
+}
+
+/// A pre-started `unigen_workerd --listen 127.0.0.1:0` server; its
+/// ephemeral endpoint is scraped from the announce line on stdout.
+struct RemoteWorkerd {
+  pid_t pid = -1;
+  net::Endpoint endpoint;
+
+  static std::string workerd_path() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) return {};
+    buf[n] = '\0';
+    std::string path(buf);
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos) return {};
+    return path.substr(0, slash + 1) + "unigen_workerd";
+  }
+
+  bool start() {
+    int out[2];
+    if (::pipe(out) != 0) return false;
+    const std::string path = workerd_path();
+    pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      ::dup2(out[1], 1);
+      ::close(out[0]);
+      ::close(out[1]);
+      // A real remote server starts with its own clean environment; this
+      // process's env still carries the crash run's fault plan.
+      ::unsetenv("UNIGEN_WORKERD_FAULTS");
+      ::execl(path.c_str(), path.c_str(), "--listen", "127.0.0.1:0",
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(out[1]);
+    FILE* f = ::fdopen(out[0], "r");
+    char line[256] = {0};
+    const bool got = f != nullptr && std::fgets(line, sizeof(line), f);
+    if (f != nullptr) std::fclose(f);
+    if (!got) return false;
+    const char* marker = std::strstr(line, "listening ");
+    if (marker == nullptr) return false;
+    std::string ep_text(marker + std::strlen("listening "));
+    while (!ep_text.empty() &&
+           (ep_text.back() == '\n' || ep_text.back() == '\r'))
+      ep_text.pop_back();
+    return net::parse_endpoint(ep_text, endpoint);
+  }
+  ~RemoteWorkerd() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t singles =
+      smoke ? 10 : bench::env_u64("UNIGEN_NET_SAMPLES", 40);
+  const std::size_t batches =
+      smoke ? 4 : bench::env_u64("UNIGEN_NET_BATCHES", 12);
+  const std::size_t batch_size = 5;
+  const std::size_t worker_counts[] = {1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const auto suite = instances();
+  std::printf(
+      "tcp transport — %zu formulas, %zu singles + %zu batches(x%zu) per "
+      "run, %u hardware thread(s)\n\n",
+      suite.size(), singles, batches, batch_size, hw);
+
+  bool count_identity = true;
+  bool sample_identity = true;
+  bool crash_identity = true;
+  bool crash_recovered = true;
+  bool remote_identity = true;
+  bool clean_hygiene = true;
+  bool fleet_came_up = true;
+
+  std::uint64_t crashes_total = 0;
+  std::uint64_t redispatches_total = 0;
+  std::uint64_t dials_total = 0;
+  std::uint64_t dial_failures_total = 0;
+  std::uint64_t send_stalls_total = 0;
+  std::uint64_t protocol_errors_total = 0;
+  std::uint64_t poisoned_total = 0;
+  double recovery_total_s = 0.0;
+  double recovery_max_s = 0.0;
+  std::uint64_t recovery_events = 0;
+  double inproc_wall_s = 0.0;
+  double socketpair_wall_s = 0.0;  // 2-worker clean runs
+  double tcp_wall_s = 0.0;         // 2-worker clean runs
+  double remote_wall_s = 0.0;
+
+  for (const Instance& inst : suite) {
+    // --- counting: TCP fleet vs socketpair fleet vs in-process.
+    ApproxMcOptions co;
+    Rng ref_rng(kSeed);
+    const ApproxMcResult ref_count = approx_count(inst.cnf, co, ref_rng);
+    for (const std::size_t workers : worker_counts) {
+      for (const FleetTransport transport :
+           {FleetTransport::kSocketpair, FleetTransport::kTcp}) {
+        ApproxMcOptions fo = co;
+        fo.fleet.backend = ExecBackend::kProcessFleet;
+        fo.fleet.transport = transport;
+        fo.fleet.num_workers = workers;
+        Rng rng(kSeed);
+        const ApproxMcResult got = approx_count(inst.cnf, fo, rng);
+        if (got.valid != ref_count.valid ||
+            got.cell_count != ref_count.cell_count ||
+            got.hash_count != ref_count.hash_count ||
+            got.exact != ref_count.exact) {
+          count_identity = false;
+          std::printf("COUNT MISMATCH %s workers=%zu transport=%s\n",
+                      inst.name.c_str(), workers,
+                      transport == FleetTransport::kTcp ? "tcp" : "sp");
+        }
+      }
+    }
+
+    // --- sampling: in-process reference streams.
+    const SampleRun ref = run_samples(inst.cnf, /*workers=*/0,
+                                      FleetTransport::kSocketpair, singles,
+                                      batches, batch_size);
+    inproc_wall_s += ref.wall_s;
+
+    // Clean runs, both fleet transports, across worker counts.
+    for (const std::size_t workers : worker_counts) {
+      for (const FleetTransport transport :
+           {FleetTransport::kSocketpair, FleetTransport::kTcp}) {
+        const SampleRun got = run_samples(inst.cnf, workers, transport,
+                                          singles, batches, batch_size);
+        // The easy-case formula never goes hashed, so no fleet is built
+        // for it — the identity gate still applies (served in-process).
+        if (!got.fleet_up && inst.name != "trivial_c") fleet_came_up = false;
+        if (workers == 2) {
+          if (transport == FleetTransport::kTcp)
+            tcp_wall_s += got.wall_s;
+          else
+            socketpair_wall_s += got.wall_s;
+        }
+        if (!same_samples(ref.singles, got.singles) ||
+            !same_batches(ref.batches, got.batches)) {
+          sample_identity = false;
+          std::printf("SAMPLE MISMATCH %s workers=%zu transport=%s\n",
+                      inst.name.c_str(), workers,
+                      transport == FleetTransport::kTcp ? "tcp" : "sp");
+        }
+        if (got.fleet_up &&
+            (got.stats.crashes != 0 || got.stats.poisoned_tasks != 0 ||
+             got.stats.send_stalls != 0 || got.stats.protocol_errors != 0))
+          clean_hygiene = false;
+        if (got.fleet_up && transport == FleetTransport::kTcp) {
+          dials_total += got.stats.dials;
+          if (got.stats.dials == 0) clean_hygiene = false;  // not TCP at all
+        }
+      }
+    }
+
+    if (inst.name == "trivial_c") continue;  // fault runs need live workers
+
+    // Crash run over TCP: three request streams lose their connection
+    // mid-task (the child is SIGKILLed, the supervisor sees EOF on the
+    // accepted socket) — recovery must be invisible in the bytes.
+    {
+      const std::string plan =
+          ProcessFaultPlan().kill_task(2).kill_task(5).kill_task(8).to_env();
+      const SampleRun got = run_samples(inst.cnf, 2, FleetTransport::kTcp,
+                                        singles, batches, batch_size, plan);
+      if (!got.fleet_up) fleet_came_up = false;
+      if (!same_samples(ref.singles, got.singles) ||
+          !same_batches(ref.batches, got.batches)) {
+        crash_identity = false;
+        std::printf("TCP CRASH-RUN MISMATCH %s\n", inst.name.c_str());
+      }
+      if (got.stats.crashes < 3 || got.stats.redispatches < 3 ||
+          got.stats.poisoned_tasks != 0)
+        crash_recovered = false;
+      crashes_total += got.stats.crashes;
+      redispatches_total += got.stats.redispatches;
+      dial_failures_total += got.stats.dial_failures;
+      send_stalls_total += got.stats.send_stalls;
+      protocol_errors_total += got.stats.protocol_errors;
+      poisoned_total += got.stats.poisoned_tasks;
+      recovery_total_s += got.stats.total_recovery_seconds;
+      recovery_max_s = recovery_max_s > got.stats.max_recovery_seconds
+                           ? recovery_max_s
+                           : got.stats.max_recovery_seconds;
+      recovery_events += got.stats.redispatches;
+    }
+
+    // Remote shape: two pre-started --listen servers, nothing spawned.
+    {
+      RemoteWorkerd a, b;
+      if (!a.start() || !b.start()) {
+        remote_identity = false;
+        std::printf("REMOTE SERVERS FAILED TO START %s\n", inst.name.c_str());
+        continue;
+      }
+      const SampleRun got = run_samples(
+          inst.cnf, /*workers=*/0, FleetTransport::kTcp, singles, batches,
+          batch_size, /*fault_plan=*/{},
+          {net::to_string(a.endpoint), net::to_string(b.endpoint)});
+      remote_wall_s += got.wall_s;
+      if (!got.fleet_up) fleet_came_up = false;
+      if (!same_samples(ref.singles, got.singles) ||
+          !same_batches(ref.batches, got.batches)) {
+        remote_identity = false;
+        std::printf("REMOTE MISMATCH %s\n", inst.name.c_str());
+      }
+      if (got.fleet_up && got.stats.dials < 2) remote_identity = false;
+    }
+  }
+
+  const double recovery_avg_s =
+      recovery_events == 0
+          ? 0.0
+          : recovery_total_s / static_cast<double>(recovery_events);
+
+  std::printf("fleet came up:                          %s\n",
+              fleet_came_up ? "yes" : "NO");
+  std::printf("count identity (sp+tcp, 1/2/4 workers): %s\n",
+              count_identity ? "yes" : "NO");
+  std::printf("stream identity (sp+tcp, 1/2/4):        %s\n",
+              sample_identity ? "yes" : "NO");
+  std::printf("tcp crash-run identity:                 %s (%llu crashes, "
+              "%llu re-dispatches, %llu poisoned)\n",
+              crash_identity && crash_recovered ? "yes" : "NO",
+              static_cast<unsigned long long>(crashes_total),
+              static_cast<unsigned long long>(redispatches_total),
+              static_cast<unsigned long long>(poisoned_total));
+  std::printf("remote (--listen) identity:             %s\n",
+              remote_identity ? "yes" : "NO");
+  std::printf("clean runs stall/protocol/crash free:   %s (%llu dials)\n",
+              clean_hygiene ? "yes" : "NO",
+              static_cast<unsigned long long>(dials_total));
+  std::printf("tcp recovery latency avg / max:         %.4f s / %.4f s\n",
+              recovery_avg_s, recovery_max_s);
+  std::printf("wall 2-worker (inproc / sp / tcp / remote): %.3f / %.3f / "
+              "%.3f / %.3f s\n",
+              inproc_wall_s, socketpair_wall_s, tcp_wall_s, remote_wall_s);
+
+  bench::BenchJson json("net");
+  json.add("suite", smoke ? "smoke" : "full");
+  json.add("formulas", static_cast<std::uint64_t>(suite.size()));
+  json.add("singles_per_run", static_cast<std::uint64_t>(singles));
+  json.add("batches_per_run", static_cast<std::uint64_t>(batches));
+  json.add("inproc_wall_s", inproc_wall_s);
+  json.add("socketpair_wall_s", socketpair_wall_s);
+  json.add("tcp_wall_s", tcp_wall_s);
+  json.add("remote_wall_s", remote_wall_s);
+  json.add("dials", dials_total);
+  json.add("dial_failures", dial_failures_total);
+  json.add("send_stalls", send_stalls_total);
+  json.add("protocol_errors", protocol_errors_total);
+  json.add("crashes", crashes_total);
+  json.add("redispatches", redispatches_total);
+  json.add("poisoned_tasks", poisoned_total);
+  json.add("recovery_avg_s", recovery_avg_s);
+  json.add("recovery_max_s", recovery_max_s);
+  json.add("count_identity",
+           static_cast<std::uint64_t>(count_identity ? 1 : 0));
+  json.add("sample_identity",
+           static_cast<std::uint64_t>(sample_identity ? 1 : 0));
+  json.add("crash_identity",
+           static_cast<std::uint64_t>(crash_identity ? 1 : 0));
+  json.add("crash_recovered",
+           static_cast<std::uint64_t>(crash_recovered ? 1 : 0));
+  json.add("remote_identity",
+           static_cast<std::uint64_t>(remote_identity ? 1 : 0));
+  json.add("clean_hygiene",
+           static_cast<std::uint64_t>(clean_hygiene ? 1 : 0));
+  json.add("invariant_violations",
+           static_cast<std::uint64_t>(
+               (fleet_came_up ? 0 : 1) + (count_identity ? 0 : 1) +
+               (sample_identity ? 0 : 1) + (crash_identity ? 0 : 1) +
+               (crash_recovered ? 0 : 1) + (remote_identity ? 0 : 1) +
+               (clean_hygiene ? 0 : 1)));
+  json.write("BENCH_net.json");
+
+  const bool gates = fleet_came_up && count_identity && sample_identity &&
+                     crash_identity && crash_recovered && remote_identity &&
+                     clean_hygiene;
+  return gates ? 0 : 1;
+}

@@ -2,12 +2,17 @@
 // instance's (projected) model count on N threads.
 //
 //   $ ./parallel_counter [--trace-out t.jsonl] [--stats-json s.json]
+//                        [--fleet N] [--fleet-tcp]
+//                        [--fleet-endpoints host:port[,host:port...]]
 //                        formula.cnf [threads] [epsilon] [delta]
 //   $ ./parallel_counter                       # built-in demo workload
 //
 // --trace-out / --stats-json switch the observability layer on and export
 // the count's span tree (count.request → count.iteration → hash.probe →
-// bsat.call) and the metric registry.
+// bsat.call) and the metric registry.  --fleet N runs the iterations on N
+// crash-isolated unigen_workerd processes, --fleet-tcp over TCP loopback,
+// --fleet-endpoints against pre-started `unigen_workerd --listen` servers;
+// the estimate is identical in every configuration.
 //
 // The count is a deterministic function of (formula, epsilon, delta, seed)
 // alone: running with 1, 4 or 32 threads returns the same estimate, only
@@ -35,6 +40,9 @@ int main(int argc, char** argv) {
   using namespace unigen;
 
   std::string trace_out, stats_json;
+  std::size_t fleet_workers = 0;
+  bool fleet_tcp = false;
+  std::vector<std::string> fleet_endpoints;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
@@ -48,7 +56,19 @@ int main(int argc, char** argv) {
       trace_out = next("--trace-out");
     else if (std::strcmp(argv[i], "--stats-json") == 0)
       stats_json = next("--stats-json");
-    else
+    else if (std::strcmp(argv[i], "--fleet") == 0)
+      fleet_workers = static_cast<std::size_t>(std::atoll(next("--fleet")));
+    else if (std::strcmp(argv[i], "--fleet-tcp") == 0)
+      fleet_tcp = true;
+    else if (std::strcmp(argv[i], "--fleet-endpoints") == 0) {
+      const std::string list = next("--fleet-endpoints");
+      for (std::size_t b = 0; b < list.size();) {
+        std::size_t e = list.find(',', b);
+        if (e == std::string::npos) e = list.size();
+        if (e > b) fleet_endpoints.push_back(list.substr(b, e - b));
+        b = e + 1;
+      }
+    } else
       pos.push_back(argv[i]);
   }
   if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
@@ -76,6 +96,13 @@ int main(int argc, char** argv) {
   opts.num_threads = pos.size() > 1 ? std::strtoul(pos[1], nullptr, 10) : 0;
   if (pos.size() > 2) opts.epsilon = std::atof(pos[2]);
   if (pos.size() > 3) opts.delta = std::atof(pos[3]);
+  if (fleet_workers > 0 || !fleet_endpoints.empty()) {
+    opts.fleet.backend = ExecBackend::kProcessFleet;
+    opts.fleet.num_workers = fleet_workers;
+    if (fleet_tcp || !fleet_endpoints.empty())
+      opts.fleet.transport = FleetTransport::kTcp;
+    opts.fleet.endpoints = fleet_endpoints;
+  }
 
   const std::size_t display_threads =
       opts.num_threads == 0

@@ -5,12 +5,19 @@
 // thread count is purely a throughput knob.
 //
 //   usage: parallel_sampler [--trace-out t.jsonl] [--stats-json s.json]
+//                           [--fleet N] [--fleet-tcp]
+//                           [--fleet-endpoints host:port[,host:port...]]
 //                           <file.cnf> [num_samples=10] [threads=0(auto)]
 //                           [epsilon=6] [seed]
 //
 // With no file argument, a built-in demo formula is sampled instead.
 // --trace-out / --stats-json switch the observability layer on and export
 // the pool.request span tree and the pool's stats struct as JSON.
+// --fleet N serves the hashed path from N crash-isolated unigen_workerd
+// processes; --fleet-tcp moves their frames onto TCP loopback, and
+// --fleet-endpoints dials pre-started `unigen_workerd --listen` servers
+// (any host) instead of spawning — the printed v-lines are identical in
+// every configuration.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +34,9 @@ int main(int argc, char** argv) {
   using namespace unigen;
 
   std::string trace_out, stats_json;
+  std::size_t fleet_workers = 0;
+  bool fleet_tcp = false;
+  std::vector<std::string> fleet_endpoints;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
@@ -40,7 +50,19 @@ int main(int argc, char** argv) {
       trace_out = next("--trace-out");
     else if (std::strcmp(argv[i], "--stats-json") == 0)
       stats_json = next("--stats-json");
-    else
+    else if (std::strcmp(argv[i], "--fleet") == 0)
+      fleet_workers = static_cast<std::size_t>(std::atoll(next("--fleet")));
+    else if (std::strcmp(argv[i], "--fleet-tcp") == 0)
+      fleet_tcp = true;
+    else if (std::strcmp(argv[i], "--fleet-endpoints") == 0) {
+      const std::string list = next("--fleet-endpoints");
+      for (std::size_t b = 0; b < list.size();) {
+        std::size_t e = list.find(',', b);
+        if (e == std::string::npos) e = list.size();
+        if (e > b) fleet_endpoints.push_back(list.substr(b, e - b));
+        b = e + 1;
+      }
+    } else
       pos.push_back(argv[i]);
   }
   if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
@@ -79,6 +101,13 @@ int main(int argc, char** argv) {
   options.num_threads = threads;
   options.seed = seed;
   options.unigen.epsilon = epsilon;
+  if (fleet_workers > 0 || !fleet_endpoints.empty()) {
+    options.unigen.fleet.backend = ExecBackend::kProcessFleet;
+    options.unigen.fleet.num_workers = fleet_workers;
+    if (fleet_tcp || !fleet_endpoints.empty())
+      options.unigen.fleet.transport = FleetTransport::kTcp;
+    options.unigen.fleet.endpoints = fleet_endpoints;
+  }
   SamplerPool pool(std::move(cnf), options);
   if (!pool.prepare()) {
     std::fprintf(stderr, "error: prepare exceeded its budget\n");
@@ -86,6 +115,14 @@ int main(int argc, char** argv) {
   }
   std::printf("c serving with %zu worker thread(s), seed %llu\n",
               pool.num_threads(), static_cast<unsigned long long>(seed));
+  if (pool.fleet() != nullptr)
+    std::printf("c process fleet up: %zu worker(s), transport %s\n",
+                pool.fleet()->num_workers(),
+                !fleet_endpoints.empty()
+                    ? "tcp-remote"
+                    : (fleet_tcp ? "tcp-loopback" : "socketpair"));
+  else if (fleet_workers > 0 || !fleet_endpoints.empty())
+    std::printf("c process fleet unavailable; serving in-process\n");
 
   const auto results = pool.sample_many(num_samples);
   for (const auto& r : results) {

@@ -6,8 +6,15 @@
 //
 //   usage: sampling_server [--samples N] [--rounds R] [--threads T]
 //                          [--max-sessions M] [--seed S]
+//                          [--fleet N] [--fleet-tcp]
+//                          [--fleet-endpoints host:port[,host:port...]]
 //                          [--trace-out trace.jsonl] [--stats-json stats.json]
 //                          [file.cnf ...]
+//
+// --fleet N serves every session's hashed path from N crash-isolated
+// unigen_workerd processes (--fleet-tcp: over TCP loopback;
+// --fleet-endpoints: dialing pre-started `unigen_workerd --listen`
+// servers); the served witnesses are identical in every configuration.
 //
 // --trace-out / --stats-json switch the observability layer on and export
 // the run: per-request span trees as JSONL, and a JSON document holding the
@@ -38,6 +45,9 @@ int main(int argc, char** argv) {
   std::size_t max_sessions = 8;
   std::uint64_t seed = 0xDAC14;
   std::string trace_out, stats_json;
+  std::size_t fleet_workers = 0;
+  bool fleet_tcp = false;
+  std::vector<std::string> fleet_endpoints;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
@@ -62,7 +72,19 @@ int main(int argc, char** argv) {
       trace_out = next("--trace-out");
     else if (std::strcmp(argv[i], "--stats-json") == 0)
       stats_json = next("--stats-json");
-    else
+    else if (std::strcmp(argv[i], "--fleet") == 0)
+      fleet_workers = static_cast<std::size_t>(std::atoll(next("--fleet")));
+    else if (std::strcmp(argv[i], "--fleet-tcp") == 0)
+      fleet_tcp = true;
+    else if (std::strcmp(argv[i], "--fleet-endpoints") == 0) {
+      const std::string list = next("--fleet-endpoints");
+      for (std::size_t b = 0; b < list.size();) {
+        std::size_t e = list.find(',', b);
+        if (e == std::string::npos) e = list.size();
+        if (e > b) fleet_endpoints.push_back(list.substr(b, e - b));
+        b = e + 1;
+      }
+    } else
       files.emplace_back(argv[i]);
   }
   if (!trace_out.empty() || !stats_json.empty()) obs::set_enabled(true);
@@ -98,6 +120,13 @@ int main(int argc, char** argv) {
   options.registry.pool.num_threads = threads;
   options.registry.pool.seed = seed;
   options.registry.max_sessions = max_sessions;
+  if (fleet_workers > 0 || !fleet_endpoints.empty()) {
+    options.registry.pool.unigen.fleet.backend = ExecBackend::kProcessFleet;
+    options.registry.pool.unigen.fleet.num_workers = fleet_workers;
+    if (fleet_tcp || !fleet_endpoints.empty())
+      options.registry.pool.unigen.fleet.transport = FleetTransport::kTcp;
+    options.registry.pool.unigen.fleet.endpoints = fleet_endpoints;
+  }
   SamplingServer server(options);
 
   for (std::size_t round = 0; round < rounds; ++round) {

@@ -544,6 +544,10 @@ template <class F>
 void visit_fields(FleetStats& s, F&& f) {
   f("spawns", s.spawns);
   f("spawn_failures", s.spawn_failures);
+  f("dials", s.dials);
+  f("dial_failures", s.dial_failures);
+  f("send_stalls", s.send_stalls);
+  f("protocol_errors", s.protocol_errors);
   f("crashes", s.crashes);
   f("hang_kills", s.hang_kills);
   f("deadline_kills", s.deadline_kills);

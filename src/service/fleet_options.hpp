@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace unigen {
 
@@ -24,10 +25,44 @@ enum class ExecBackend : std::uint8_t {
   kProcessFleet,
 };
 
+/// Which byte pipe carries the fleet's frame protocol.  The supervision
+/// code is transport-blind (service/ipc.hpp is fd-agnostic); this knob
+/// only decides how a worker's connected fd comes to exist.
+enum class FleetTransport : std::uint8_t {
+  /// fork/exec + AF_UNIX socketpair — the single-host default.
+  kSocketpair,
+  /// TCP (service/net_transport.hpp).  With `endpoints` empty the fleet
+  /// still spawns local unigen_workerd children, but they dial back into
+  /// a loopback listener (`--connect host:port`) — the full network stack
+  /// on one box, which is what the tests and bench_net exercise.  With
+  /// `endpoints` set, nothing is spawned: each worker slot dials a
+  /// pre-started `unigen_workerd --listen host:port` server (any host),
+  /// and a crashed/dropped connection is "respawned" by re-dialing under
+  /// the same bounded backoff.  That is the multi-host fan-out the paper's
+  /// no-communication argument promises: adding machines is adding
+  /// endpoints.
+  kTcp,
+};
+
 struct FleetOptions {
   ExecBackend backend = ExecBackend::kInProcess;
   /// Child processes; 0 = match the embedding's thread count.
   std::size_t num_workers = 0;
+  FleetTransport transport = FleetTransport::kSocketpair;
+  /// kTcp only: "host:port" workerd servers to dial instead of spawning
+  /// locally.  Slot i dials endpoints[i % endpoints.size()], so more
+  /// workers than endpoints multiplexes slots across hosts (each slot is
+  /// its own connection and its own remote serving loop).  num_workers
+  /// == 0 with endpoints set means one worker per endpoint.
+  std::vector<std::string> endpoints;
+  /// Dial/accept deadline for TCP connection establishment; an
+  /// unreachable host costs this much, never an indefinite stall.
+  double connect_timeout_s = 5.0;
+  /// Bounded-write discipline for every supervisor-side frame send: a
+  /// worker that stops draining its socket for this long is classified a
+  /// stalled transport and killed like a heartbeat-silent hang (the
+  /// single-threaded poll loop must never block in send).  0 = unbounded.
+  double send_timeout_s = 5.0;
   /// Path to the unigen_workerd binary.  Empty = $UNIGEN_WORKERD, else
   /// "unigen_workerd" next to the running executable (/proc/self/exe).
   std::string workerd_path;

@@ -1,9 +1,11 @@
 #include "service/ipc.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -272,23 +274,58 @@ std::string decode_error(const std::string& payload) {
   return r.str();
 }
 
-bool write_frame(int fd, FrameType type, const std::string& body) {
+WriteOutcome write_frame_bounded(int fd, FrameType type,
+                                 const std::string& body,
+                                 double send_deadline_s) {
+  // Refuse before any byte is written: body + type byte must fit the u32
+  // length prefix AND stay under kMaxFrame, or the peer would reject the
+  // frame (or, past 4 GiB, read a wrapped length and lose framing).
+  if (!frame_body_fits(body.size())) return WriteOutcome::kOversize;
   WireWriter w;
   w.u32(static_cast<std::uint32_t>(body.size() + 1));
   w.u8(static_cast<std::uint8_t>(type));
   std::string frame = w.take();
   frame.append(body);
+  const bool bounded = send_deadline_s > 0.0;
+  const auto give_up =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? send_deadline_s : 0.0));
   std::size_t off = 0;
   while (off < frame.size()) {
-    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    // Bounded mode never blocks in send: wait for writability under the
+    // remaining deadline, then push with MSG_DONTWAIT.  A peer that stops
+    // draining therefore costs at most the deadline — after which the
+    // caller classifies the connection as stalled and kills it, the same
+    // treatment a heartbeat-silent hang gets.
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off,
+               MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
     }
-    off += static_cast<std::size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= give_up) return WriteOutcome::kStalled;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            give_up - now)
+                            .count();
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1,
+                            static_cast<int>(left > 0 ? left : 1));
+      if (pr < 0 && errno != EINTR) return WriteOutcome::kError;
+      if (pr == 0) return WriteOutcome::kStalled;
+      continue;
+    }
+    return WriteOutcome::kError;
   }
-  return true;
+  return WriteOutcome::kOk;
+}
+
+bool write_frame(int fd, FrameType type, const std::string& body) {
+  return write_frame_bounded(fd, type, body, 0.0) == WriteOutcome::kOk;
 }
 
 bool FrameReader::next(FrameType& type, std::string& body) {
@@ -302,7 +339,10 @@ bool FrameReader::next(FrameType& type, std::string& body) {
   if (len == 0 || len > kMaxFrame)
     throw std::runtime_error("ipc: bad frame length");
   if (avail < 4 + static_cast<std::size_t>(len)) return false;
-  type = static_cast<FrameType>(static_cast<unsigned char>(buf_[pos_ + 4]));
+  const auto type_byte = static_cast<unsigned char>(buf_[pos_ + 4]);
+  if (!valid_frame_type(type_byte))
+    throw std::runtime_error("ipc: unknown frame type");
+  type = static_cast<FrameType>(type_byte);
   body.assign(buf_, pos_ + 5, len - 1);
   pos_ += 4 + static_cast<std::size_t>(len);
   // Compact once the consumed prefix dominates, keeping feed() amortized.
@@ -327,19 +367,29 @@ bool read_exact(int fd, char* out, std::size_t n) {
   return true;
 }
 
-bool read_frame(int fd, FrameType& type, std::string& body) {
+ReadOutcome read_frame_outcome(int fd, FrameType& type, std::string& body) {
   char hdr[4];
-  if (!read_exact(fd, hdr, 4)) return false;
+  if (!read_exact(fd, hdr, 4)) return ReadOutcome::kEof;
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i)
     len |= static_cast<std::uint32_t>(static_cast<unsigned char>(hdr[i]))
            << (8 * i);
-  if (len == 0 || len > FrameReader::kMaxFrame) return false;
+  // A zero or over-limit length loses framing permanently (the length
+  // check runs BEFORE the allocation — a corrupt prefix cannot demand a
+  // gigabyte); an unknown type byte consumes exactly one frame and leaves
+  // the stream in sync.
+  if (len == 0 || len > kMaxFrame) return ReadOutcome::kBadLength;
   std::string payload(len, '\0');
-  if (!read_exact(fd, payload.data(), len)) return false;
-  type = static_cast<FrameType>(static_cast<unsigned char>(payload[0]));
+  if (!read_exact(fd, payload.data(), len)) return ReadOutcome::kEof;
+  const auto type_byte = static_cast<unsigned char>(payload[0]);
+  if (!valid_frame_type(type_byte)) return ReadOutcome::kBadType;
+  type = static_cast<FrameType>(type_byte);
   body = payload.substr(1);
-  return true;
+  return ReadOutcome::kFrame;
+}
+
+bool read_frame(int fd, FrameType& type, std::string& body) {
+  return read_frame_outcome(fd, type, body) == ReadOutcome::kFrame;
 }
 
 }  // namespace unigen::ipc

@@ -45,6 +45,15 @@ enum class FrameType : std::uint8_t {
   kError = 6,
 };
 
+/// Every frame-type byte that may legally appear on the wire.  Both decode
+/// paths check this BEFORE casting to FrameType — an unknown byte is a
+/// protocol error (supervisor: poisoned connection, kill + respawn;
+/// worker: structured Error reply), never a blind cast handed to a switch.
+constexpr bool valid_frame_type(std::uint8_t b) {
+  return b >= static_cast<std::uint8_t>(FrameType::kSetup) &&
+         b <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
 /// What kind of work the fleet serves; fixed per fleet at Setup time.
 enum class TaskKind : std::uint8_t {
   /// One ApproxMC median iteration (approxmc_core_iteration).
@@ -213,9 +222,45 @@ ResultMsg decode_result(const std::string& payload);
 std::string encode_error(const std::string& what);
 std::string decode_error(const std::string& payload);
 
-/// Writes one frame (length prefix + type byte + body) to `fd`.  Uses
-/// send(MSG_NOSIGNAL) so a dead peer yields EPIPE, not SIGPIPE.  Returns
-/// false on any write failure (the caller reaps/respawns).
+/// Why a frame send failed — callers classify, not just reap:
+///   kOversize  the body cannot be framed (no bytes were written; the
+///              stream is intact and the send fails cleanly — this is the
+///              graceful-degradation path for a >1 GiB Setup, never a
+///              wrapped u32 length desynchronizing the peer);
+///   kStalled   the peer stopped draining and the deadline expired
+///              mid-frame (the stream is now mid-frame garbage — the
+///              caller must kill the connection, exactly like a
+///              heartbeat-silent hang);
+///   kError     the transport failed (EPIPE/ECONNRESET/…).
+enum class WriteOutcome : std::uint8_t { kOk, kOversize, kStalled, kError };
+
+/// Hard ceiling on one frame's payload length (type byte + body), shared
+/// by every encode and decode path.  A corrupt or hostile length prefix
+/// must not trigger a gigabyte allocation; a larger-than-this Setup must
+/// fail on the WRITE side, cleanly, before any byte hits the wire.
+inline constexpr std::uint32_t kMaxFrame = 1u << 30;
+
+/// True iff a body of this size fits one frame: the u32 length prefix
+/// carries body + 1 type byte and must stay within kMaxFrame.  Write paths
+/// check this BEFORE building the prefix, so an oversized (or, past 4 GiB,
+/// u32-wrapping) payload can never reach the wire.
+constexpr bool frame_body_fits(std::size_t body_size) {
+  return body_size < static_cast<std::size_t>(kMaxFrame);
+}
+
+/// Writes one frame (length prefix + type byte + body) to `fd`, refusing
+/// oversized bodies up front.  Uses send(MSG_NOSIGNAL) so a dead peer
+/// yields EPIPE, not SIGPIPE (the SO_NOSIGPIPE-equivalent on Linux).
+/// `send_deadline_s > 0` bounds the whole flush: progress is made with
+/// poll(POLLOUT) + MSG_DONTWAIT, so a peer with a full receive window
+/// costs at most the deadline — never a wedged single-threaded supervisor.
+/// <= 0 blocks until flushed (the worker side, whose only peer is the
+/// supervisor).
+WriteOutcome write_frame_bounded(int fd, FrameType type,
+                                 const std::string& body,
+                                 double send_deadline_s);
+
+/// Unbounded legacy form: true iff the frame was fully flushed.
 bool write_frame(int fd, FrameType type, const std::string& body);
 
 /// Incremental frame decoder for the supervisor's nonblocking reads: feed
@@ -226,11 +271,14 @@ class FrameReader {
     buf_.append(data, size);
   }
   /// Pops the next complete frame into (type, body); false = need more
-  /// bytes.  Throws std::runtime_error on a frame exceeding kMaxFrame (a
-  /// corrupt length prefix must not trigger a gigabyte allocation).
+  /// bytes.  Throws std::runtime_error on a zero-length or over-kMaxFrame
+  /// length prefix (a corrupt length must not trigger a gigabyte
+  /// allocation) and on an unknown frame-type byte — any throw means the
+  /// stream can no longer be trusted and the caller must drop the
+  /// connection (supervisor: kill + respawn the worker).
   bool next(FrameType& type, std::string& body);
 
-  static constexpr std::uint32_t kMaxFrame = 1u << 30;
+  static constexpr std::uint32_t kMaxFrame = ipc::kMaxFrame;
 
  private:
   std::string buf_;
@@ -240,6 +288,23 @@ class FrameReader {
 /// Blocking helpers for the worker side (fd is its only conversation).
 /// read_exact returns false on EOF (parent gone → worker exits).
 bool read_exact(int fd, char* out, std::size_t n);
+
+/// What one blocking frame read produced:
+///   kFrame      a valid frame (type/body filled in);
+///   kEof        orderly close or transport error — the conversation is
+///               over (worker exits);
+///   kBadType    the length prefix was sound but the type byte is unknown:
+///               the frame was consumed whole, the stream is still in
+///               sync, and the worker should answer with a structured
+///               Error and keep serving;
+///   kBadLength  zero-length or over-limit prefix: framing is lost and the
+///               stream cannot be re-synchronized — reply Error
+///               (best-effort) and hang up.
+enum class ReadOutcome : std::uint8_t { kFrame, kEof, kBadType, kBadLength };
+ReadOutcome read_frame_outcome(int fd, FrameType& type, std::string& body);
+
+/// Legacy form: true iff a valid frame arrived (protocol errors fold into
+/// false, i.e. end-of-conversation).
 bool read_frame(int fd, FrameType& type, std::string& body);
 
 }  // namespace unigen::ipc

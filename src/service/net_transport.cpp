@@ -1,0 +1,189 @@
+#include "service/net_transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace unigen::net {
+
+namespace {
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+int poll_deadline_ms(double timeout_s) {
+  if (timeout_s <= 0.0) return 0;
+  const double ms = timeout_s * 1000.0;
+  if (ms >= 2147483647.0) return 2147483647;
+  const int v = static_cast<int>(ms);
+  return v > 0 ? v : 1;
+}
+
+/// getaddrinfo over the endpoint; passive=true for bind.  Returns nullptr
+/// on resolution failure (caller frees with freeaddrinfo otherwise).
+addrinfo* resolve(const Endpoint& e, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  const std::string port = std::to_string(e.port);
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(e.host.empty() ? nullptr : e.host.c_str(), port.c_str(),
+                    &hints, &res) != 0)
+    return nullptr;
+  return res;
+}
+
+/// The port the kernel actually bound (ephemeral binds pass port 0 in).
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) return 0;
+  if (ss.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<sockaddr_in*>(&ss)->sin_port);
+  if (ss.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&ss)->sin6_port);
+  return 0;
+}
+
+}  // namespace
+
+bool parse_endpoint(const std::string& text, Endpoint& out) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size())
+    return false;
+  std::string host = text.substr(0, colon);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+    host = host.substr(1, host.size() - 2);
+  if (host.empty()) return false;
+  long port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return false;
+  }
+  out.host = std::move(host);
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+std::string to_string(const Endpoint& e) {
+  const bool v6 = e.host.find(':') != std::string::npos;
+  return (v6 ? "[" + e.host + "]" : e.host) + ":" + std::to_string(e.port);
+}
+
+void tune_stream_socket(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int fl = ::fcntl(fd, F_GETFD, 0);
+  if (fl >= 0) ::fcntl(fd, F_SETFD, fl | FD_CLOEXEC);
+}
+
+int tcp_connect(const Endpoint& endpoint, double timeout_s) {
+  addrinfo* res = resolve(endpoint, /*passive=*/false);
+  if (res == nullptr) return -1;
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (!set_nonblocking(fd, true)) {
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno == EINPROGRESS) {
+      rc = -1;  // deadline expiry / poll failure stays a refusal
+      pollfd pfd{fd, POLLOUT, 0};
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, poll_deadline_ms(timeout_s));
+      } while (pr < 0 && errno == EINTR);
+      if (pr > 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+            err == 0)
+          rc = 0;
+      }
+    }
+    if (rc == 0 && set_nonblocking(fd, false)) break;  // connected
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) tune_stream_socket(fd);
+  return fd;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpListener::listen(const std::string& host, std::uint16_t port) {
+  close();
+  Endpoint want{host, port};
+  addrinfo* res = resolve(want, /*passive=*/true);
+  if (res == nullptr) return false;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, SOMAXCONN) == 0 && set_nonblocking(fd, true)) {
+      const int fl = ::fcntl(fd, F_GETFD, 0);
+      if (fl >= 0) ::fcntl(fd, F_SETFD, fl | FD_CLOEXEC);
+      fd_ = fd;
+      endpoint_.host = host;
+      endpoint_.port = bound_port(fd);
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return fd_ >= 0;
+}
+
+int TcpListener::accept(double timeout_s) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{fd_, POLLIN, 0};
+  int pr;
+  do {
+    pr = ::poll(&pfd, 1, poll_deadline_ms(timeout_s));
+  } while (pr < 0 && errno == EINTR);
+  if (pr <= 0) return -1;
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd, false)) {
+    ::close(fd);
+    return -1;
+  }
+  tune_stream_socket(fd);
+  return fd;
+}
+
+}  // namespace unigen::net

@@ -51,6 +51,10 @@ struct ProcessFleet::Worker {
   pid_t pid = -1;
   int fd = -1;
   State state = State::kDown;
+  /// Remote slot (TCP endpoint list): no local process exists — pid stays
+  /// -1, "kill" drops the connection, "respawn" re-dials remote_ep.
+  bool remote = false;
+  net::Endpoint remote_ep{};
   ipc::FrameReader reader;
   /// Last frame of any kind (Ready/Heartbeat/Result) — the liveness clock.
   Clock::time_point last_frame{};
@@ -113,7 +117,7 @@ std::size_t ProcessFleet::num_workers() const { return workers_.size(); }
 std::vector<int> ProcessFleet::worker_pids() const {
   std::vector<int> pids;
   for (const Worker& w : workers_)
-    if (w.alive()) pids.push_back(static_cast<int>(w.pid));
+    if (w.alive() && w.pid > 0) pids.push_back(static_cast<int>(w.pid));
   return pids;
 }
 
@@ -132,6 +136,39 @@ std::string ProcessFleet::resolve_workerd_path() const {
 }
 
 bool ProcessFleet::spawn(Worker& w) {
+  if (w.remote) return dial_remote(w);
+  if (options_.transport == FleetTransport::kTcp) return spawn_tcp_local(w);
+  return spawn_socketpair(w);
+}
+
+bool ProcessFleet::adopt_connection(Worker& w, int fd, int pid) {
+  // CLOEXEC on every supervisor-side channel (TCP fds got it at
+  // accept/connect; socketpair ends need it here): a later spawn's child
+  // must not inherit — and keep alive — a sibling's connection.
+  net::tune_stream_socket(fd);
+  w.pid = pid;
+  w.fd = fd;
+  w.state = Worker::State::kSpawning;
+  w.task = kNoTask;
+  w.supervisor_kill = false;
+  w.reader = ipc::FrameReader{};
+  w.last_frame = Clock::now();
+  ++stats_.spawns;
+  const ipc::WriteOutcome wr = ipc::write_frame_bounded(
+      w.fd, ipc::FrameType::kSetup, setup_payload_, options_.send_timeout_s);
+  if (wr != ipc::WriteOutcome::kOk) {
+    // kOversize is the clean refusal path for an unshippable formula: no
+    // byte hit the wire, the worker is simply unusable — every slot fails
+    // the same way and start() degrades to the in-process pool.
+    if (wr == ipc::WriteOutcome::kStalled) ++stats_.send_stalls;
+    kill_worker(w);
+    handle_death(w, nullptr);
+    return false;
+  }
+  return true;
+}
+
+bool ProcessFleet::spawn_socketpair(Worker& w) {
   int sv[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
     ++stats_.spawn_failures;
@@ -158,25 +195,67 @@ bool ProcessFleet::spawn(Worker& w) {
     _exit(127);
   }
   ::close(sv[1]);
-  w.pid = pid;
-  w.fd = sv[0];
-  w.state = Worker::State::kSpawning;
-  w.task = kNoTask;
-  w.supervisor_kill = false;
-  w.reader = ipc::FrameReader{};
-  w.last_frame = Clock::now();
-  ++stats_.spawns;
-  if (!ipc::write_frame(w.fd, ipc::FrameType::kSetup, setup_payload_)) {
-    handle_death(w, nullptr);
+  return adopt_connection(w, sv[0], pid);
+}
+
+bool ProcessFleet::spawn_tcp_local(Worker& w) {
+  // Local child over the real network stack: fork/exec with no inherited
+  // channel, the child dials our loopback listener.  Everything downstream
+  // of the accepted fd is identical to the socketpair path — including
+  // SIGKILL supervision, since the pid is ours.
+  if (listener_ == nullptr || !listener_->listening()) {
+    ++stats_.spawn_failures;
     return false;
   }
-  return true;
+  const std::string connect_arg = net::to_string(listener_->endpoint());
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ++stats_.spawn_failures;
+    return false;
+  }
+  if (pid == 0) {
+    ::execl(workerd_path_.c_str(), workerd_path_.c_str(), "--connect",
+            connect_arg.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  // One dialer is in flight at a time (spawns are sequential in the poll
+  // loop and failures kill their child before returning), so the next
+  // accepted connection is this child's.
+  const int fd = listener_->accept(options_.connect_timeout_s);
+  if (fd < 0) {
+    ++stats_.spawn_failures;
+    ++stats_.dial_failures;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return false;
+  }
+  ++stats_.dials;
+  return adopt_connection(w, fd, pid);
+}
+
+bool ProcessFleet::dial_remote(Worker& w) {
+  const int fd = net::tcp_connect(w.remote_ep, options_.connect_timeout_s);
+  if (fd < 0) {
+    ++stats_.spawn_failures;
+    ++stats_.dial_failures;
+    return false;
+  }
+  ++stats_.dials;
+  return adopt_connection(w, fd, /*pid=*/-1);
 }
 
 void ProcessFleet::kill_worker(Worker& w) {
   if (!w.alive()) return;
   w.supervisor_kill = true;
-  ::kill(w.pid, SIGKILL);  // death observed as EOF in the poll loop
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);  // death observed as EOF in the poll loop
+  } else if (w.fd >= 0) {
+    // Remote worker: no pid to signal — dropping the connection IS the
+    // kill.  The remote serving loop sees EOF, abandons the task, resets
+    // its state and re-accepts; our poll loop sees EOF and runs the same
+    // death path a SIGKILL produces.
+    ::shutdown(w.fd, SHUT_RDWR);
+  }
 }
 
 void ProcessFleet::handle_death(Worker& w, RunState* run) {
@@ -247,7 +326,11 @@ void ProcessFleet::process_frames(Worker& w, RunState* run) {
     try {
       if (!w.reader.next(type, body)) return;
     } catch (const std::exception&) {
-      kill_worker(w);  // corrupt stream; EOF path will clean up
+      // Corrupt stream (bad length / unknown frame type): the connection
+      // is poisoned — kill and respawn; the EOF path will clean up and
+      // re-dispatch whatever was in flight.
+      ++stats_.protocol_errors;
+      kill_worker(w);
       return;
     }
     w.last_frame = Clock::now();
@@ -266,6 +349,7 @@ void ProcessFleet::process_frames(Worker& w, RunState* run) {
         try {
           msg = ipc::decode_result(body);
         } catch (const std::exception&) {
+          ++stats_.protocol_errors;
           kill_worker(w);
           return;
         }
@@ -359,8 +443,18 @@ void ProcessFleet::dispatch(Worker& w, std::size_t task_index, RunState* run) {
   msg.trace_id = spec.trace_id;
   msg.parent_span = spec.parent_span;
   w.span_start_ns = 0;
-  if (!ipc::write_frame(w.fd, ipc::FrameType::kTask, ipc::encode_task(msg))) {
-    // Worker died between poll rounds; the attempt was never delivered.
+  const ipc::WriteOutcome wr = ipc::write_frame_bounded(
+      w.fd, ipc::FrameType::kTask, ipc::encode_task(msg),
+      options_.send_timeout_s);
+  if (wr != ipc::WriteOutcome::kOk) {
+    // Worker died between poll rounds — or stopped draining its socket
+    // long enough to trip the send deadline, which gets the same
+    // treatment as a heartbeat-silent hang: kill, reap, re-dispatch.
+    // Either way the attempt was never delivered.
+    if (wr == ipc::WriteOutcome::kStalled) {
+      ++stats_.send_stalls;
+      kill_worker(w);
+    }
     run->pending.push_front(task_index);
     handle_death(w, run);
     return;
@@ -483,10 +577,34 @@ bool ProcessFleet::start(std::string setup_payload,
                          std::size_t default_workers) {
   if (started_) return true;
   setup_payload_ = std::move(setup_payload);
-  workerd_path_ = resolve_workerd_path();
-  if (workerd_path_.empty() ||
-      ::access(workerd_path_.c_str(), X_OK) != 0)
-    return false;
+  // An unframeable Setup (>1 GiB formula) must fail here, cleanly, so the
+  // embedding falls back to the in-process pool — not write a frame every
+  // worker rejects (or a wrapped length that desynchronizes the stream).
+  if (!ipc::frame_body_fits(setup_payload_.size())) return false;
+  const bool remote_mode =
+      options_.transport == FleetTransport::kTcp && !options_.endpoints.empty();
+  std::vector<net::Endpoint> remote_eps;
+  if (remote_mode) {
+    // Remote fan-out: nothing is spawned, so no local binary is needed —
+    // but every endpoint must parse or the option set is rejected whole.
+    for (const std::string& text : options_.endpoints) {
+      net::Endpoint ep;
+      if (!net::parse_endpoint(text, ep)) return false;
+      remote_eps.push_back(std::move(ep));
+    }
+  } else {
+    workerd_path_ = resolve_workerd_path();
+    if (workerd_path_.empty() ||
+        ::access(workerd_path_.c_str(), X_OK) != 0)
+      return false;
+    if (options_.transport == FleetTransport::kTcp) {
+      listener_ = std::make_unique<net::TcpListener>();
+      if (!listener_->listen("127.0.0.1", 0)) {
+        listener_.reset();
+        return false;
+      }
+    }
+  }
   // The fault plan and heartbeat interval reach workers via the
   // environment; set them once here, before any fork.
   if (!options_.fault_plan.empty())
@@ -497,13 +615,21 @@ bool ProcessFleet::start(std::string setup_payload,
            std::to_string(options_.heartbeat_interval_s).c_str(), 1);
 
   std::size_t n =
-      options_.num_workers != 0 ? options_.num_workers : default_workers;
+      options_.num_workers != 0
+          ? options_.num_workers
+          : (remote_mode ? remote_eps.size() : default_workers);
   if (n == 0) n = 1;
   workers_ = std::vector<Worker>(n);
+  if (remote_mode)
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      workers_[i].remote = true;
+      workers_[i].remote_ep = remote_eps[i % remote_eps.size()];
+    }
   bool any = false;
   for (Worker& w : workers_) any = spawn(w) || any;
   if (!any) {
     workers_.clear();
+    listener_.reset();
     return false;
   }
   // Wait (bounded) for the first Ready: a fleet whose every worker dies in
@@ -523,6 +649,7 @@ bool ProcessFleet::start(std::string setup_payload,
   for (Worker& w : workers_)
     if (w.alive()) handle_death(w, nullptr);
   workers_.clear();
+  listener_.reset();
   return false;
 }
 

@@ -30,6 +30,18 @@
 //     deadline     workers (honest statuses for their tasks); dead slots
 //                  respawn lazily, so the fleet object stays reusable.
 //
+// Transports (FleetOptions::transport): the supervision loop never sees
+// anything but a connected SOCK_STREAM fd per worker, so the same poll()
+// polices fork/exec'd socketpair children, locally-spawned children that
+// dialled back over TCP loopback, and never-spawned remote workers
+// (`unigen_workerd --listen`) reached through FleetOptions::endpoints.
+// For remote workers there is no pid to SIGKILL; dropping the connection
+// is the kill (the remote serving loop sees EOF, resets, and re-accepts),
+// and a respawn is a re-dial under the same bounded backoff.  All frame
+// sends are deadline-bounded (send_timeout_s): a peer that stops draining
+// is a stalled transport, classified and killed exactly like a
+// heartbeat-silent hang — the single-threaded supervisor never blocks.
+//
 // Graceful degradation: start() returns false when no worker can be
 // brought up (missing binary, fork failure); embeddings then fall back to
 // the in-process WorkerPool.  If the last live worker dies mid-run and no
@@ -38,6 +50,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,12 +60,24 @@
 #include "service/budget.hpp"
 #include "service/fleet_options.hpp"
 #include "service/ipc.hpp"
+#include "service/net_transport.hpp"
 
 namespace unigen {
 
 struct FleetStats {
   std::uint64_t spawns = 0;
   std::uint64_t spawn_failures = 0;
+  /// TCP transport only: outbound connections established / refused
+  /// (remote-endpoint dials and loopback accepts both count as dials —
+  /// each produces one connected worker channel).
+  std::uint64_t dials = 0;
+  std::uint64_t dial_failures = 0;
+  /// Frame sends that hit the bounded-write deadline (send_timeout_s);
+  /// each one killed its worker like a heartbeat-silent hang.
+  std::uint64_t send_stalls = 0;
+  /// Corrupt inbound streams (bad length / unknown frame type); each one
+  /// poisoned its connection — worker killed/dropped and respawned.
+  std::uint64_t protocol_errors = 0;
   /// Unexpected worker deaths (crash, external kill) observed mid-service.
   std::uint64_t crashes = 0;
   /// Supervisor-initiated kills: heartbeat silence / per-task deadline.
@@ -163,6 +188,11 @@ class ProcessFleet {
 
   std::string resolve_workerd_path() const;
   bool spawn(Worker& w);
+  bool spawn_socketpair(Worker& w);
+  bool spawn_tcp_local(Worker& w);
+  bool dial_remote(Worker& w);
+  /// Completes a spawn/dial: register the connected fd, ship Setup.
+  bool adopt_connection(Worker& w, int fd, int pid);
   void kill_worker(Worker& w);
   void handle_death(Worker& w, RunState* run);
   void process_frames(Worker& w, RunState* run);
@@ -179,6 +209,9 @@ class ProcessFleet {
   std::vector<Worker> workers_;
   FleetStats stats_;
   std::vector<std::uint32_t> last_run_attempts_;
+  /// kTcp with no endpoints: the loopback listener locally-spawned workers
+  /// dial back into (each spawn passes `--connect 127.0.0.1:<port>`).
+  std::unique_ptr<net::TcpListener> listener_;
 };
 
 }  // namespace unigen

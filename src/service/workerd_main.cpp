@@ -1,16 +1,34 @@
 // unigen_workerd — the crash-isolated worker process behind ProcessFleet.
 //
 // Protocol (service/ipc.hpp): the supervisor hands this process one end of
-// a socketpair as fd 3 (`--fd 3`), sends one Setup frame, then Task frames
-// one at a time; the worker answers each with a Result (or a structured
-// Error) and emits unsolicited Heartbeat frames from a dedicated thread so
-// the supervisor can tell a long solve from a hung process.
+// a byte stream, sends one Setup frame, then Task frames one at a time;
+// the worker answers each with a Result (or a structured Error) and emits
+// unsolicited Heartbeat frames from a dedicated thread so the supervisor
+// can tell a long solve from a hung process.  How the stream comes to
+// exist is the transport's business, selected on the command line:
+//
+//   --fd N                 inherited socketpair end (single-host fleet);
+//   --connect host:port    dial the supervisor's TCP listener — used by
+//                          the loopback-TCP fleet's locally-spawned
+//                          children, and by any remote agent pointing a
+//                          worker at a supervisor across the network;
+//   --listen host:port     serve mode for multi-host fan-out: accept one
+//                          supervisor connection at a time, serve the
+//                          whole Setup→Task* conversation, then reset and
+//                          re-accept (port 0 binds ephemerally; the bound
+//                          endpoint is printed to stdout for discovery).
 //
 // Determinism: a task is a pure function of its frame — the formula came
 // in canonical DIMACS, the task's rng as raw state, and the post-
 // processing (pick/shuffle) is the exact helper the in-process pool uses —
-// so the supervisor may re-dispatch a task to any worker, any number of
-// times, and fold byte-identical results.
+// so the supervisor may re-dispatch a task to any worker, on any host, any
+// number of times, and fold byte-identical results.
+//
+// Protocol errors: an unknown frame-type byte is answered with a
+// structured Error (the length prefix was sound, so the stream is still
+// in sync and serving continues); a corrupt length prefix loses framing —
+// the worker complains best-effort and hangs up.  Neither is ever a blind
+// enum cast.
 //
 // Fault injection (tests only): UNIGEN_WORKERD_FAULTS holds a
 // ;-separated plan of `kill@task:attempt` / `sleep@task:attempt`
@@ -19,7 +37,11 @@
 // mutex and sleeps forever — the hang case, detectable only through
 // heartbeat silence.  Keyed on (task, attempt) so a retry runs clean.
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -39,6 +61,7 @@
 #include "obs/trace.hpp"
 #include "sat/incremental_bsat.hpp"
 #include "service/ipc.hpp"
+#include "service/net_transport.hpp"
 #include "service/sampler_pool.hpp"
 #include "simplify/simplify.hpp"
 #include "util/rng.hpp"
@@ -84,22 +107,41 @@ std::vector<FaultDirective> parse_fault_plan(const char* env) {
 
 /// Worker state shared with the heartbeat thread: the write mutex orders
 /// Result and Heartbeat frames on the one socket, and doubles as the hang
-/// lever — the sleep fault holds it forever, so heartbeats stop.
+/// lever — the sleep fault holds it forever, so heartbeats stop.  The
+/// stop flag lets a finished session join its heartbeat thread promptly,
+/// which serve mode (--listen) needs before it can re-accept: a detached
+/// thread writing into a recycled fd number would corrupt the next
+/// session's stream.
 struct Writer {
   int fd = -1;
   std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
 
   bool send(ipc::FrameType type, const std::string& body) {
     std::lock_guard<std::mutex> lock(mu);
     return ipc::write_frame(fd, type, body);
   }
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+  }
 };
 
 void heartbeat_main(Writer* writer, double interval_s) {
   const auto period = std::chrono::duration<double>(interval_s);
+  std::unique_lock<std::mutex> lock(writer->mu);
   for (;;) {
-    std::this_thread::sleep_for(period);
-    if (!writer->send(ipc::FrameType::kHeartbeat, std::string()))
+    // wait_for releases mu while sleeping, so Result sends never wait a
+    // heartbeat period — only the actual write below is serialized.
+    if (writer->cv.wait_for(lock, period, [writer] { return writer->stop; }))
+      return;
+    // mu held: write directly (send() would deadlock re-locking).
+    if (!ipc::write_frame(writer->fd, ipc::FrameType::kHeartbeat,
+                          std::string()))
       return;  // parent gone
   }
 }
@@ -127,8 +169,21 @@ int worker_main(int fd) {
 
   ipc::FrameType type;
   std::string body;
-  if (!ipc::read_frame(fd, type, body) || type != ipc::FrameType::kSetup)
-    return 2;
+  switch (ipc::read_frame_outcome(fd, type, body)) {
+    case ipc::ReadOutcome::kFrame:
+      break;
+    case ipc::ReadOutcome::kBadType:
+      writer.send(ipc::FrameType::kError,
+                  ipc::encode_error("ipc: unknown frame type before Setup"));
+      return 2;
+    case ipc::ReadOutcome::kBadLength:
+      writer.send(ipc::FrameType::kError,
+                  ipc::encode_error("ipc: bad frame length"));
+      return 2;
+    case ipc::ReadOutcome::kEof:
+      return 2;
+  }
+  if (type != ipc::FrameType::kSetup) return 2;
   ipc::SetupMsg setup;
   try {
     setup = ipc::decode_setup(body);
@@ -179,10 +234,30 @@ int worker_main(int fd) {
   const double hb_interval =
       hb_env != nullptr ? std::max(0.01, std::atof(hb_env)) : 0.25;
   std::thread heartbeat(heartbeat_main, &writer, hb_interval);
-  heartbeat.detach();  // process exit is its only shutdown
 
   UniGenStats scratch_stats;
-  while (ipc::read_frame(fd, type, body)) {
+  bool serving = true;
+  while (serving) {
+    switch (ipc::read_frame_outcome(fd, type, body)) {
+      case ipc::ReadOutcome::kFrame:
+        break;
+      case ipc::ReadOutcome::kBadType:
+        // Length prefix was sound: exactly one frame was consumed, the
+        // stream is still in sync — structured complaint, keep serving.
+        writer.send(ipc::FrameType::kError,
+                    ipc::encode_error("ipc: unknown frame type"));
+        continue;
+      case ipc::ReadOutcome::kBadLength:
+        // Framing lost; nothing downstream can be trusted.  Best-effort
+        // complaint, then hang up (the supervisor respawns/re-dials).
+        writer.send(ipc::FrameType::kError,
+                    ipc::encode_error("ipc: bad frame length"));
+        serving = false;
+        continue;
+      case ipc::ReadOutcome::kEof:
+        serving = false;  // supervisor closed the channel
+        continue;
+    }
     if (type != ipc::FrameType::kTask) continue;
     ipc::TaskMsg task;
     try {
@@ -284,9 +359,39 @@ int worker_main(int fd) {
       obs::clear_all();
     }
     if (!writer.send(ipc::FrameType::kResult, ipc::encode_result(result)))
-      return 0;  // parent gone
+      serving = false;  // parent gone
   }
-  return 0;  // EOF: supervisor closed the channel
+  // Session over (EOF / lost framing / dead parent): stop the heartbeat
+  // thread before the fd can be closed or its number recycled — serve
+  // mode accepts the next supervisor right after this returns.
+  writer.request_stop();
+  heartbeat.join();
+  return 0;
+}
+
+/// Multi-host serve mode: accept one supervisor at a time, run the whole
+/// conversation, reset, re-accept.  Each connection gets a fresh
+/// worker_main — fresh Setup, fresh engine — so consecutive supervisors
+/// (or a re-dialling one after it dropped us) cannot see each other's
+/// state.  The bound endpoint is printed first (port 0 = ephemeral) so
+/// whoever started us can discover where to point the fleet.
+int listen_main(const net::Endpoint& at) {
+  ::signal(SIGPIPE, SIG_IGN);
+  net::TcpListener listener;
+  if (!listener.listen(at.host, at.port)) {
+    std::fprintf(stderr, "unigen_workerd: cannot listen on %s\n",
+                 net::to_string(at).c_str());
+    return 3;
+  }
+  std::printf("unigen_workerd listening %s\n",
+              net::to_string(listener.endpoint()).c_str());
+  std::fflush(stdout);
+  for (;;) {
+    const int fd = listener.accept(1.0);
+    if (fd < 0) continue;  // timeout tick; SIGTERM/SIGKILL ends serve mode
+    worker_main(fd);
+    ::close(fd);
+  }
 }
 
 }  // namespace
@@ -296,6 +401,23 @@ int main(int argc, char** argv) {
   int fd = 3;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--fd") == 0) fd = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--connect") == 0 ||
+        std::strcmp(argv[i], "--listen") == 0) {
+      unigen::net::Endpoint ep;
+      if (!unigen::net::parse_endpoint(argv[i + 1], ep)) {
+        std::fprintf(stderr, "unigen_workerd: bad endpoint '%s'\n",
+                     argv[i + 1]);
+        return 3;
+      }
+      if (std::strcmp(argv[i], "--listen") == 0)
+        return unigen::listen_main(ep);
+      fd = unigen::net::tcp_connect(ep, 10.0);
+      if (fd < 0) {
+        std::fprintf(stderr, "unigen_workerd: cannot connect to %s\n",
+                     unigen::net::to_string(ep).c_str());
+        return 3;
+      }
+    }
   }
   return unigen::worker_main(fd);
 }

@@ -1,0 +1,511 @@
+// TCP transport of the process fleet (service/net_transport.hpp): the
+// socket layer in isolation, then the whole fleet over TCP loopback, then
+// the multi-host shape — pre-started `unigen_workerd --listen` servers the
+// supervisor dials instead of spawning.
+//
+// The load-bearing claim is the same one the socketpair fleet makes: the
+// transport is invisible in the bytes.  Counts and sample/batch streams
+// over a TCP fleet must equal the in-process pool's exactly, at every
+// worker count, with and without killed connections — because a task is a
+// pure function of its frame and the frames don't change, only the pipe
+// they ride.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/unigen.hpp"
+#include "counting/approxmc.hpp"
+#include "helpers.hpp"
+#include "obs/trace.hpp"
+#include "service/ipc.hpp"
+#include "service/net_transport.hpp"
+#include "service/process_fleet.hpp"
+#include "service/sampler_pool.hpp"
+
+namespace unigen {
+namespace {
+
+// ---- socket layer -----------------------------------------------------
+
+TEST(Endpoint, ParseAccepts) {
+  net::Endpoint e;
+  ASSERT_TRUE(net::parse_endpoint("127.0.0.1:8080", e));
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 8080);
+  ASSERT_TRUE(net::parse_endpoint("example.com:1", e));
+  EXPECT_EQ(e.host, "example.com");
+  EXPECT_EQ(e.port, 1);
+  ASSERT_TRUE(net::parse_endpoint("[::1]:65535", e));
+  EXPECT_EQ(e.host, "::1");
+  EXPECT_EQ(e.port, 65535);
+  ASSERT_TRUE(net::parse_endpoint("localhost:0", e));
+  EXPECT_EQ(e.port, 0);
+}
+
+TEST(Endpoint, ParseRejects) {
+  net::Endpoint e;
+  EXPECT_FALSE(net::parse_endpoint("", e));
+  EXPECT_FALSE(net::parse_endpoint("nohost", e));
+  EXPECT_FALSE(net::parse_endpoint(":8080", e));          // empty host
+  EXPECT_FALSE(net::parse_endpoint("host:", e));          // empty port
+  EXPECT_FALSE(net::parse_endpoint("host:abc", e));       // non-numeric
+  EXPECT_FALSE(net::parse_endpoint("host:12ab", e));
+  EXPECT_FALSE(net::parse_endpoint("host:65536", e));     // > u16
+  EXPECT_FALSE(net::parse_endpoint("host:-1", e));
+  EXPECT_FALSE(net::parse_endpoint("[]:80", e));          // empty brackets
+}
+
+TEST(Endpoint, ToStringBracketsIpv6) {
+  EXPECT_EQ(net::to_string({"127.0.0.1", 80}), "127.0.0.1:80");
+  EXPECT_EQ(net::to_string({"::1", 80}), "[::1]:80");
+  // Round trip through the parser.
+  net::Endpoint e;
+  ASSERT_TRUE(net::parse_endpoint(net::to_string({"::1", 443}), e));
+  EXPECT_EQ(e.host, "::1");
+  EXPECT_EQ(e.port, 443);
+}
+
+TEST(TcpListener, EphemeralBindReportsRealPort) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0));
+  EXPECT_TRUE(listener.listening());
+  EXPECT_NE(listener.endpoint().port, 0) << "port 0 must resolve ephemeral";
+  EXPECT_EQ(listener.endpoint().host, "127.0.0.1");
+}
+
+TEST(TcpListener, AcceptTimesOutPromptly) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(listener.accept(0.1), -1);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(s, 5.0) << "accept with no dialer must cost ~the deadline";
+}
+
+TEST(TcpConnect, RefusedPortFailsWithinDeadline) {
+  // Bind-then-close guarantees a port nobody is listening on right now.
+  std::uint16_t dead_port;
+  {
+    net::TcpListener listener;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0));
+    dead_port = listener.endpoint().port;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(net::tcp_connect({"127.0.0.1", dead_port}, 2.0), -1);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(s, 10.0);
+}
+
+TEST(TcpConnect, FramesRoundTripOverRealSockets) {
+  // The ipc layer is fd-agnostic; prove it over an actual TCP pair,
+  // both directions, including the bounded write path.
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0));
+  const int client = net::tcp_connect(listener.endpoint(), 5.0);
+  ASSERT_GE(client, 0);
+  const int server = listener.accept(5.0);
+  ASSERT_GE(server, 0);
+
+  EXPECT_EQ(ipc::write_frame_bounded(client, ipc::FrameType::kSetup,
+                                     "over-tcp", 5.0),
+            ipc::WriteOutcome::kOk);
+  ipc::FrameType type;
+  std::string body;
+  EXPECT_EQ(ipc::read_frame_outcome(server, type, body),
+            ipc::ReadOutcome::kFrame);
+  EXPECT_EQ(type, ipc::FrameType::kSetup);
+  EXPECT_EQ(body, "over-tcp");
+
+  ASSERT_TRUE(ipc::write_frame(server, ipc::FrameType::kReady, ""));
+  EXPECT_EQ(ipc::read_frame_outcome(client, type, body),
+            ipc::ReadOutcome::kFrame);
+  EXPECT_EQ(type, ipc::FrameType::kReady);
+
+  ::close(client);
+  EXPECT_EQ(ipc::read_frame_outcome(server, type, body),
+            ipc::ReadOutcome::kEof);
+  ::close(server);
+}
+
+// ---- TCP-loopback fleet ----------------------------------------------
+
+/// Same 504-model hashed-mode formula the fleet suite uses: big enough
+/// that both embeddings actually run hashed and the workers solve.
+Cnf hashed_mode_formula() {
+  Cnf cnf(10);
+  cnf.add_clause({Lit(0, false), Lit(1, false), Lit(2, false)});
+  cnf.add_clause({Lit(3, false), Lit(4, true)});
+  cnf.add_clause({Lit(5, false), Lit(6, false), Lit(7, true)});
+  cnf.add_clause({Lit(8, false), Lit(9, false), Lit(0, true)});
+  return cnf;
+}
+
+SamplerPoolOptions tcp_pool_options(std::size_t threads, std::uint64_t seed,
+                                    const std::string& fault_plan = {}) {
+  SamplerPoolOptions o;
+  o.num_threads = threads;
+  o.seed = seed;
+  o.unigen.fleet.backend = ExecBackend::kProcessFleet;
+  o.unigen.fleet.transport = FleetTransport::kTcp;
+  o.unigen.fleet.fault_plan = fault_plan;
+  return o;
+}
+
+SamplerPoolOptions inproc_pool_options(std::size_t threads,
+                                       std::uint64_t seed) {
+  SamplerPoolOptions o;
+  o.num_threads = threads;
+  o.seed = seed;
+  return o;
+}
+
+void expect_same_results(const std::vector<SampleResult>& a,
+                         const std::vector<SampleResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, b[i].status) << "request " << i;
+    EXPECT_EQ(a[i].witness, b[i].witness) << "request " << i;
+  }
+}
+
+TEST(TcpFleet, CountMatchesInProcessAcrossWorkerCounts) {
+  const Cnf cnf = hashed_mode_formula();
+  ApproxMcOptions base;
+  Rng ref_rng(4242);
+  const ApproxMcResult reference = approx_count(cnf, base, ref_rng);
+  ASSERT_TRUE(reference.valid);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ApproxMcOptions o = base;
+    o.fleet.backend = ExecBackend::kProcessFleet;
+    o.fleet.transport = FleetTransport::kTcp;
+    o.fleet.num_workers = workers;
+    Rng rng(4242);
+    const ApproxMcResult got = approx_count(cnf, o, rng);
+    ASSERT_TRUE(got.valid) << workers << " workers";
+    EXPECT_EQ(got.cell_count, reference.cell_count) << workers << " workers";
+    EXPECT_EQ(got.hash_count, reference.hash_count) << workers << " workers";
+  }
+}
+
+TEST(TcpFleet, SampleStreamsMatchInProcessPool) {
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 777;
+  constexpr std::size_t kRequests = 24;
+  std::vector<SampleResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    reference = pool.sample_many(kRequests);
+  }
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SamplerPoolOptions o = tcp_pool_options(2, kSeed);
+    o.unigen.fleet.num_workers = workers;
+    SamplerPool pool(cnf, o);
+    ASSERT_TRUE(pool.prepare());
+    ASSERT_NE(pool.fleet(), nullptr)
+        << "TCP-loopback fleet should come up at " << workers << " workers";
+    const auto got = pool.sample_many(kRequests);
+    expect_same_results(reference, got);
+    // Every worker came in through the listener, not a socketpair.
+    EXPECT_GE(pool.fleet()->stats().dials, workers);
+  }
+}
+
+TEST(TcpFleet, KilledConnectionRetriesByteIdentically) {
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 31;
+  constexpr std::size_t kRequests = 12;
+  std::vector<SampleResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    reference = pool.sample_many(kRequests);
+  }
+  SamplerPool pool(cnf, tcp_pool_options(
+                            2, kSeed,
+                            ProcessFaultPlan().kill_task(2).kill_task(7)
+                                .to_env()));
+  ASSERT_TRUE(pool.prepare());
+  ASSERT_NE(pool.fleet(), nullptr);
+  const auto got = pool.sample_many(kRequests);
+  expect_same_results(reference, got);
+  const FleetStats& fs = pool.fleet()->stats();
+  EXPECT_GE(fs.crashes, 2u);
+  EXPECT_GE(fs.redispatches, 2u);
+  EXPECT_EQ(fs.poisoned_tasks, 0u);
+}
+
+TEST(TcpFleet, BatchStreamsMatchSocketpairFleet) {
+  // Three-way identity: in-process pool, socketpair fleet, TCP fleet —
+  // the exact acceptance gate, on the batch path.
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 88;
+  std::vector<BatchResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    reference = pool.sample_batches(6, 5);
+  }
+  auto run_fleet = [&](FleetTransport transport) {
+    SamplerPoolOptions o = inproc_pool_options(2, kSeed);
+    o.unigen.fleet.backend = ExecBackend::kProcessFleet;
+    o.unigen.fleet.transport = transport;
+    o.unigen.fleet.num_workers = 2;
+    SamplerPool pool(cnf, o);
+    EXPECT_TRUE(pool.prepare());
+    EXPECT_NE(pool.fleet(), nullptr);
+    return pool.sample_batches(6, 5);
+  };
+  const auto socketpair_out = run_fleet(FleetTransport::kSocketpair);
+  const auto tcp_out = run_fleet(FleetTransport::kTcp);
+  ASSERT_EQ(socketpair_out.size(), reference.size());
+  ASSERT_EQ(tcp_out.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(socketpair_out[i].models, reference[i].models) << i;
+    EXPECT_EQ(tcp_out[i].models, reference[i].models) << i;
+    EXPECT_EQ(tcp_out[i].status, reference[i].status) << i;
+  }
+}
+
+// ---- remote endpoints (multi-host shape) ------------------------------
+
+std::string workerd_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return {};
+  return path.substr(0, slash + 1) + "unigen_workerd";
+}
+
+/// A pre-started `unigen_workerd --listen 127.0.0.1:0` server — the thing
+/// an operator would run on another host.  The ephemeral port is scraped
+/// from the "unigen_workerd listening HOST:PORT" line on its stdout.
+struct RemoteWorkerd {
+  pid_t pid = -1;
+  net::Endpoint endpoint;
+
+  bool start() {
+    int out[2];
+    if (::pipe(out) != 0) return false;
+    const std::string path = workerd_path();
+    pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      ::dup2(out[1], 1);
+      ::close(out[0]);
+      ::close(out[1]);
+      // A real remote server starts with its own clean environment; this
+      // process's env may still carry a fault plan from an earlier
+      // locally-spawned fleet in the same test binary.
+      ::unsetenv("UNIGEN_WORKERD_FAULTS");
+      ::execl(path.c_str(), path.c_str(), "--listen", "127.0.0.1:0",
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ::close(out[1]);
+    FILE* f = ::fdopen(out[0], "r");
+    char line[256] = {0};
+    const bool got = f != nullptr && std::fgets(line, sizeof(line), f);
+    if (f != nullptr) std::fclose(f);  // worker keeps running; we just
+                                       // stop listening to its stdout
+    if (!got) return false;
+    const char* marker = std::strstr(line, "listening ");
+    if (marker == nullptr) return false;
+    std::string ep_text(marker + std::strlen("listening "));
+    while (!ep_text.empty() &&
+           (ep_text.back() == '\n' || ep_text.back() == '\r'))
+      ep_text.pop_back();
+    return net::parse_endpoint(ep_text, endpoint);
+  }
+  void kill_server() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+  ~RemoteWorkerd() { kill_server(); }
+};
+
+TEST(RemoteFleet, DialedWorkersMatchInProcessByteForByte) {
+  RemoteWorkerd a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 777;
+  constexpr std::size_t kRequests = 16;
+  std::vector<SampleResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    reference = pool.sample_many(kRequests);
+  }
+  SamplerPoolOptions o = tcp_pool_options(2, kSeed);
+  o.unigen.fleet.endpoints = {net::to_string(a.endpoint),
+                              net::to_string(b.endpoint)};
+  {
+    // num_workers 0 + endpoints → one worker per endpoint.
+    SamplerPool pool(cnf, o);
+    ASSERT_TRUE(pool.prepare());
+    ASSERT_NE(pool.fleet(), nullptr) << "remote fleet should dial up";
+    EXPECT_EQ(pool.fleet()->num_workers(), 2u);
+    EXPECT_TRUE(pool.fleet()->worker_pids().empty())
+        << "remote workers have no local pid to kill";
+    const auto got = pool.sample_many(kRequests);
+    expect_same_results(reference, got);
+    EXPECT_GE(pool.fleet()->stats().dials, 2u);
+  }
+  // The serving loop resets per connection: a second fleet against the
+  // same servers (fresh Setup) must come up and agree again.  Each server
+  // serves one supervisor at a time, so the first pool must be gone (its
+  // connections EOF'd) before the second can be accepted.
+  SamplerPool again(cnf, o);
+  ASSERT_TRUE(again.prepare());
+  ASSERT_NE(again.fleet(), nullptr);
+  expect_same_results(reference, again.sample_many(kRequests));
+}
+
+TEST(RemoteFleet, CountOverRemoteWorkersMatches) {
+  RemoteWorkerd server;
+  ASSERT_TRUE(server.start());
+  const Cnf cnf = hashed_mode_formula();
+  ApproxMcOptions base;
+  Rng ref_rng(4242);
+  const ApproxMcResult reference = approx_count(cnf, base, ref_rng);
+  ASSERT_TRUE(reference.valid);
+  ApproxMcOptions o = base;
+  o.fleet.backend = ExecBackend::kProcessFleet;
+  o.fleet.transport = FleetTransport::kTcp;
+  o.fleet.endpoints = {net::to_string(server.endpoint)};
+  o.fleet.num_workers = 2;  // both slots multiplex onto the one server
+  Rng rng(4242);
+  const ApproxMcResult got = approx_count(cnf, o, rng);
+  ASSERT_TRUE(got.valid);
+  EXPECT_EQ(got.cell_count, reference.cell_count);
+  EXPECT_EQ(got.hash_count, reference.hash_count);
+}
+
+TEST(RemoteFleet, DeadServerSurvivedByTheOtherEndpoint) {
+  RemoteWorkerd a, b;
+  ASSERT_TRUE(a.start());
+  ASSERT_TRUE(b.start());
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 61;
+  std::vector<SampleResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    pool.sample_many(6);
+    reference = pool.sample_many(6);
+  }
+  SamplerPoolOptions o = tcp_pool_options(2, kSeed);
+  o.unigen.fleet.endpoints = {net::to_string(a.endpoint),
+                              net::to_string(b.endpoint)};
+  // Keep the dead slot's re-dial loop cheap: refused loopback connects
+  // fail instantly, and two respawn attempts are plenty to prove decay.
+  o.unigen.fleet.max_respawns_per_worker = 2;
+  o.unigen.fleet.respawn_backoff_initial_s = 0.01;
+  o.unigen.fleet.respawn_backoff_max_s = 0.05;
+  SamplerPool pool(cnf, o);
+  ASSERT_TRUE(pool.prepare());
+  ASSERT_NE(pool.fleet(), nullptr);
+  const auto warm = pool.sample_many(6);
+  ASSERT_EQ(warm.size(), 6u);
+  // SIGKILL one server between calls — the supervisor sees EOF, re-dials
+  // a dead port, abandons the slot, and the survivor serves the whole
+  // next call byte-identically.
+  a.kill_server();
+  const auto got = pool.sample_many(6);
+  expect_same_results(reference, got);
+}
+
+TEST(RemoteFleet, AllServersDeadDegradesGracefully) {
+  // Endpoints that nobody listens on: start() must fail cleanly and the
+  // pool must fall back in-process with identical bytes — the same
+  // degradation contract as a missing worker binary.
+  std::uint16_t dead_port;
+  {
+    net::TcpListener listener;
+    ASSERT_TRUE(listener.listen("127.0.0.1", 0));
+    dead_port = listener.endpoint().port;
+  }
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 123;
+  std::vector<SampleResult> reference;
+  {
+    SamplerPool pool(cnf, inproc_pool_options(2, kSeed));
+    reference = pool.sample_many(10);
+  }
+  SamplerPoolOptions o = tcp_pool_options(2, kSeed);
+  o.unigen.fleet.endpoints = {
+      net::to_string({"127.0.0.1", dead_port})};
+  o.unigen.fleet.connect_timeout_s = 1.0;
+  SamplerPool pool(cnf, o);
+  ASSERT_TRUE(pool.prepare());
+  EXPECT_EQ(pool.fleet(), nullptr) << "dial failure must degrade, not hang";
+  expect_same_results(reference, pool.sample_many(10));
+}
+
+TEST(RemoteFleet, SpansArriveTaggedInTheRequestTrace) {
+  // PR 8's trace contract must survive the wire change: spans recorded in
+  // a never-spawned remote worker ship back over TCP inside the Result
+  // frame, land in the request's single trace, and carry the REMOTE
+  // process's pid and the attempt ordinal.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  RemoteWorkerd server;
+  ASSERT_TRUE(server.start());
+  const Cnf cnf = hashed_mode_formula();
+  constexpr std::uint64_t kSeed = 31;
+  SamplerPoolOptions o = tcp_pool_options(2, kSeed);
+  o.unigen.fleet.endpoints = {net::to_string(server.endpoint)};
+  SamplerPool pool(cnf, o);
+  ASSERT_TRUE(pool.prepare());
+  ASSERT_NE(pool.fleet(), nullptr);
+  obs::clear_all();
+  obs::set_enabled(true);
+  const auto results = pool.sample_many(1);
+  obs::set_enabled(false);
+  ASSERT_EQ(results.size(), 1u);
+
+  const auto events = obs::snapshot_events();
+  obs::clear_all();
+  ASSERT_FALSE(events.empty());
+  std::set<std::uint64_t> traces;
+  for (const auto& e : events) traces.insert(e.trace_id);
+  EXPECT_EQ(traces.size(), 1u) << "one request, one trace — span fragments "
+                                  "from the remote worker included";
+  const auto worker_span = std::find_if(
+      events.begin(), events.end(), [](const obs::TraceEvent& e) {
+        return e.name == std::string("worker.task");
+      });
+  ASSERT_NE(worker_span, events.end()) << "remote worker's span must arrive";
+  EXPECT_EQ(worker_span->worker, static_cast<std::uint32_t>(server.pid))
+      << "span is tagged with the remote serving process's pid";
+  EXPECT_EQ(worker_span->attempt, 1u);
+}
+
+TEST(RemoteFleet, MalformedEndpointRejectedUpFront) {
+  const Cnf cnf = hashed_mode_formula();
+  SamplerPoolOptions o = tcp_pool_options(2, 9);
+  o.unigen.fleet.endpoints = {"not-an-endpoint"};
+  SamplerPool pool(cnf, o);
+  ASSERT_TRUE(pool.prepare());
+  EXPECT_EQ(pool.fleet(), nullptr);
+  EXPECT_EQ(pool.sample_many(4).size(), 4u) << "in-process fallback serves";
+}
+
+}  // namespace
+}  // namespace unigen
